@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The section 6.3 transaction cost model, measured with
+ * google-benchmark:
+ *
+ *  - "the cost of instrumenting and logging each word written [is]
+ *    190 ns when the transaction's write set size is smaller than 128
+ *    cache lines";
+ *  - "the cost of committing a transaction ... adds up to 250 ns per
+ *    distinct cache line flushed";
+ *  - "a hash table insert of 64 bytes requires on average 15 updates
+ *    to 5 distinct cache lines, for a total cost of 4.3 us".
+ *
+ * Plus the raw persistence primitives underneath.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ds/phash_table.h"
+#include "mtm/txn_manager.h"
+#include "runtime/runtime.h"
+
+namespace bench = mnemosyne::bench;
+namespace scm = mnemosyne::scm;
+using mnemosyne::Runtime;
+
+namespace {
+
+/** Process-wide lazily-built runtime for the benchmarks. */
+struct Env {
+    Env()
+        : dir("txncosts"), ctx(bench::paperScmConfig()), guard(ctx),
+          rt(bench::paperRuntimeConfig(dir.path()))
+    {
+        arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "cost_arr", (64 << 10) * sizeof(uint64_t), nullptr));
+    }
+    bench::ScratchDir dir;
+    scm::ScmContext ctx;
+    scm::ScopedCtx guard;
+    Runtime rt;
+    uint64_t *arr;
+};
+
+Env &
+env()
+{
+    static Env e;
+    return e;
+}
+
+void
+BM_PrimitiveWtstoreFence(benchmark::State &state)
+{
+    auto &e = env();
+    uint64_t w = 0;
+    for (auto _ : state) {
+        e.ctx.wtstoreT<uint64_t>(e.arr, ++w);
+        e.ctx.fence();
+    }
+}
+BENCHMARK(BM_PrimitiveWtstoreFence);
+
+void
+BM_PrimitiveStoreFlushFence(benchmark::State &state)
+{
+    auto &e = env();
+    uint64_t w = 0;
+    for (auto _ : state) {
+        e.ctx.storeT<uint64_t>(e.arr, ++w);
+        e.ctx.flush(e.arr);
+        e.ctx.fence();
+    }
+}
+BENCHMARK(BM_PrimitiveStoreFlushFence);
+
+/** Per-word instrument+log cost: txn writing N spread-out words; the
+ *  paper reports ~190 ns/word below 128 cache lines. */
+void
+BM_InstrumentAndLogPerWord(benchmark::State &state)
+{
+    auto &e = env();
+    const int words = int(state.range(0));
+    for (auto _ : state) {
+        e.rt.atomic([&](mnemosyne::mtm::Txn &tx) {
+            for (int i = 0; i < words; ++i)
+                tx.writeT<uint64_t>(&e.arr[i * 8], uint64_t(i));
+        });
+    }
+    state.counters["ns_per_word"] = benchmark::Counter(
+        double(state.iterations()) * words,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_InstrumentAndLogPerWord)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+/** Commit cost growth per distinct cache line (paper ~250 ns/line). */
+void
+BM_CommitPerLine(benchmark::State &state)
+{
+    auto &e = env();
+    const int lines = int(state.range(0));
+    for (auto _ : state) {
+        e.rt.atomic([&](mnemosyne::mtm::Txn &tx) {
+            for (int i = 0; i < lines; ++i)
+                tx.writeT<uint64_t>(&e.arr[i * 8], uint64_t(i));
+        });
+    }
+    state.counters["ns_per_line"] = benchmark::Counter(
+        double(state.iterations()) * lines,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CommitPerLine)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/** The 4.3 us headline: one 64-byte hash table insert. */
+void
+BM_HashTableInsert64B(benchmark::State &state)
+{
+    auto &e = env();
+    static mnemosyne::ds::PHashTable table(e.rt, "cost_table", 65536);
+    const std::string value(64, 'x');
+    uint64_t i = 0;
+    for (auto _ : state)
+        table.put("key" + std::to_string(i++), value);
+}
+BENCHMARK(BM_HashTableInsert64B);
+
+} // namespace
+
+BENCHMARK_MAIN();

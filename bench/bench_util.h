@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared infrastructure for the benchmark binaries: one per paper
+ * table/figure (see DESIGN.md section 4).  Benchmarks run with the
+ * paper's default emulation parameters — 150 ns extra write latency,
+ * 4 GB/s write bandwidth, TSC spin delays — unless a specific
+ * experiment varies them.
+ */
+
+#ifndef MNEMOSYNE_BENCH_BENCH_UTIL_H_
+#define MNEMOSYNE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "pcmdisk/pcmdisk.h"
+#include "runtime/runtime.h"
+#include "scm/scm.h"
+
+namespace mnemosyne::bench {
+
+/** A self-deleting scratch directory for persistent-region backing. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : path_("/tmp/mnemosyne_bench_" + tag)
+    {
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** SCM emulator configured like the paper's test platform. */
+inline scm::ScmConfig
+paperScmConfig(uint64_t write_latency_ns = 150, bool spin = true)
+{
+    scm::ScmConfig cfg;
+    cfg.latency_mode = spin ? scm::LatencyMode::kSpin
+                            : scm::LatencyMode::kNone;
+    cfg.write_latency_ns = write_latency_ns;
+    cfg.write_bandwidth_bytes_per_us = 4096; // 4 GB/s
+    // Long-running performance measurement: no failure journal.
+    cfg.failure_tracking = false;
+    return cfg;
+}
+
+/** PCM-disk configured like the paper's (plus kernel-stack overhead). */
+inline pcmdisk::PcmDiskConfig
+paperDiskConfig(uint64_t write_latency_ns = 150)
+{
+    pcmdisk::PcmDiskConfig cfg;
+    cfg.capacity_bytes = size_t(512) << 20;
+    cfg.latency_mode = scm::LatencyMode::kSpin;
+    cfg.write_latency_ns = write_latency_ns;
+    cfg.write_bandwidth_bytes_per_us = 4096;
+    cfg.torn_block_writes = false;
+    return cfg;
+}
+
+inline RuntimeConfig
+paperRuntimeConfig(const std::string &dir,
+                   mtm::Truncation trunc = mtm::Truncation::kSync,
+                   size_t heap_mb = 256)
+{
+    RuntimeConfig cfg;
+    cfg.use_current_scm_context = true;
+    cfg.region.backing_dir = dir;
+    cfg.region.scm_capacity = size_t(heap_mb + 320) << 20;
+    cfg.region.va_reserve = size_t(4) << 30;
+    cfg.small_heap_bytes = size_t(heap_mb) << 20;
+    cfg.big_heap_bytes = size_t(64) << 20;
+    cfg.txn.truncation = trunc;
+    cfg.txn.log_slots = 32;
+    cfg.txn.log_slot_bytes = 4 << 20;
+    return cfg;
+}
+
+/** Wall-clock stopwatch in nanoseconds. */
+class Timer
+{
+  public:
+    Timer() : t0_(std::chrono::steady_clock::now()) {}
+
+    uint64_t
+    ns() const
+    {
+        return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - t0_)
+                            .count());
+    }
+
+    double us() const { return double(ns()) / 1e3; }
+    double s() const { return double(ns()) / 1e9; }
+
+  private:
+    std::chrono::steady_clock::time_point t0_;
+};
+
+inline void
+header(const char *title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("================================================================\n");
+}
+
+inline void
+paperNote(const char *note)
+{
+    std::printf("paper: %s\n\n", note);
+}
+
+} // namespace mnemosyne::bench
+
+#endif // MNEMOSYNE_BENCH_BENCH_UTIL_H_

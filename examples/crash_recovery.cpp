@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The reliability demonstration of paper section 6.2, end to end:
+ *
+ *  1. a crash stress program performs seeded random transactional
+ *     updates and is crashed at an adversarial point (a random subset
+ *     of the unfenced writes survives, in any order);
+ *  2. a fresh runtime recovers — replaying completed transactions,
+ *     discarding torn ones — and the memory image is verified against
+ *     the committed prefix;
+ *  3. torn-bit detection is shown by flipping a torn bit in a log
+ *     image and recovering.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <random>
+#include <vector>
+
+#include "crash/crash_harness.h"
+#include "log/rawl.h"
+#include "runtime/runtime.h"
+#include "scm/scm.h"
+
+namespace mn = mnemosyne;
+namespace crash = mn::crash;
+
+namespace {
+
+mn::RuntimeConfig
+config(const std::string &dir, bool async_truncation = false)
+{
+    mn::RuntimeConfig cfg;
+    cfg.use_current_scm_context = true;
+    cfg.region.backing_dir = dir;
+    cfg.region.scm_capacity = size_t(64) << 20;
+    cfg.region.va_reserve = size_t(2) << 30;
+    cfg.small_heap_bytes = 8 << 20;
+    cfg.big_heap_bytes = 8 << 20;
+    cfg.txn.truncation = async_truncation ? mn::mtm::Truncation::kAsync
+                                          : mn::mtm::Truncation::kSync;
+    return cfg;
+}
+
+bool
+stressRound(const std::string &dir, uint64_t seed)
+{
+    uint64_t committed = 0;
+    {
+        mn::scm::ScmConfig sc;
+        sc.crash_mode = mn::scm::CrashPersistMode::kRandomSubset;
+        sc.crash_seed = seed * 7 + 3;
+        mn::scm::ScmContext c(sc);
+        mn::scm::ScopedCtx guard(c);
+        // Odd seeds use asynchronous truncation: committed txns then
+        // sit in the redo logs and recovery must replay them.
+        mn::Runtime rt(config(dir, seed % 2 == 1));
+        if (seed % 2 == 1)
+            rt.txns().pauseTruncation();
+        crash::StressEngine engine(rt, seed);
+        std::mt19937_64 rng(seed);
+        committed = engine.run(c, 500,
+                               c.eventCount() + 100 + rng() % 8000);
+        c.crash(true); // power failure
+    }
+    mn::scm::ScmContext c2{mn::scm::ScmConfig{}};
+    mn::scm::ScopedCtx guard2(c2);
+    mn::Runtime rt(config(dir));
+    const auto res = crash::StressEngine::verify(rt, seed, committed);
+    std::printf("  seed %2llu: crashed after %3llu committed txns, "
+                "%zu replayed at recovery -> %s\n",
+                (unsigned long long)seed, (unsigned long long)committed,
+                rt.reincarnation().replayed_txns,
+                res.verified ? "VERIFIED" : res.mismatch.c_str());
+    return res.verified;
+}
+
+void
+tornBitDemo()
+{
+    std::printf("\ntorn-bit detection (RAWL):\n");
+    mn::scm::ScmContext c{mn::scm::ScmConfig{}};
+    mn::scm::ScopedCtx guard(c);
+    std::vector<uint64_t> arena(4096 / 8, 0);
+    auto log = mn::log::Rawl::create(arena.data(), 4096);
+    const uint64_t recs[][3] = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+    for (const auto &r : recs)
+        log->append(r, 3);
+    log->flush();
+    c.persistAll();
+
+    // Flip the torn bit of a word inside the second record.
+    auto *buf = reinterpret_cast<uint64_t *>(
+        reinterpret_cast<mn::log::Rawl::Header *>(arena.data()) + 1);
+    buf[6] ^= (uint64_t(1) << 63);
+
+    auto re = mn::log::Rawl::open(arena.data());
+    auto cur = re->begin();
+    std::vector<uint64_t> out;
+    int recovered = 0;
+    while (re->readRecord(cur, out))
+        ++recovered;
+    std::printf("  3 records appended, torn bit flipped in record 2 -> "
+                "%d record(s) recovered (scan stopped at the flip)\n",
+                recovered);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== crash stress + recovery (paper section 6.2) ===\n");
+    const std::string dir = "./mnemosyne_crashdemo";
+
+    int verified = 0;
+    const int rounds = 8;
+    for (uint64_t seed = 0; seed < rounds; ++seed) {
+        // Each round gets a fresh state directory: a crashed image is
+        // recovered exactly once, like a real restart.
+        const std::string round_dir = dir + "/round" + std::to_string(seed);
+        std::filesystem::remove_all(round_dir);
+        std::filesystem::create_directories(round_dir);
+        verified += stressRound(round_dir, seed);
+    }
+    std::printf("%d/%d rounds verified\n", verified, rounds);
+
+    tornBitDemo();
+    return verified == rounds ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A persistent key-value store in ~50 lines of application code: the
+ * Tokyo Cabinet scenario of the paper (section 6.2).  The B+ tree
+ * lives in persistent memory and every update is a durable memory
+ * transaction — no msync, no serialization, no storage engine.
+ *
+ *   $ ./persistent_kvstore put lang "C++20"
+ *   $ ./persistent_kvstore put paper "Mnemosyne ASPLOS'11"
+ *   $ ./persistent_kvstore get lang
+ *   C++20
+ *   $ ./persistent_kvstore list
+ *   ...
+ *   $ ./persistent_kvstore del lang
+ *
+ * Invoked with no arguments it runs a scripted demo of the same.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "apps/tokyo_mini.h"
+#include "runtime/runtime.h"
+
+namespace mn = mnemosyne;
+
+namespace {
+
+mn::RuntimeConfig
+config(const std::string &dir)
+{
+    std::filesystem::create_directories(dir);
+    mn::RuntimeConfig cfg;
+    cfg.region.backing_dir = dir;
+    cfg.region.scm_capacity = size_t(64) << 20;
+    cfg.region.va_reserve = size_t(2) << 30;
+    cfg.small_heap_bytes = 16 << 20;
+    cfg.big_heap_bytes = 8 << 20;
+    return cfg;
+}
+
+int
+command(mn::apps::TokyoMini &kv, const std::string &cmd,
+        const std::string &key, const std::string &value)
+{
+    if (cmd == "put") {
+        kv.put(key, value);
+        std::printf("ok (%zu keys)\n", kv.count());
+        return 0;
+    }
+    if (cmd == "get") {
+        std::string v;
+        if (!kv.get(key, &v)) {
+            std::printf("(not found)\n");
+            return 1;
+        }
+        std::printf("%s\n", v.c_str());
+        return 0;
+    }
+    if (cmd == "del") {
+        const bool hit = kv.del(key);
+        std::printf(hit ? "deleted\n" : "(not found)\n");
+        return hit ? 0 : 1;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = "./mnemosyne_kvstore";
+    mn::Runtime rt(config(dir));
+    mn::apps::TokyoMini kv(rt, "kv_tree");
+
+    if (argc >= 2) {
+        const std::string cmd = argv[1];
+        if (cmd == "list") {
+            // (list uses the underlying tree's ordered iteration)
+            mn::ds::PBpTree tree(rt, "kv_tree");
+            tree.forEach([](std::string_view k, std::string_view v) {
+                std::printf("%.*s = %.*s\n", int(k.size()), k.data(),
+                            int(v.size()), v.data());
+            });
+            return 0;
+        }
+        const std::string key = argc > 2 ? argv[2] : "";
+        const std::string value = argc > 3 ? argv[3] : "";
+        return command(kv, cmd, key, value);
+    }
+
+    // Scripted demo.
+    std::printf("=== persistent kv store (state in %s) ===\n", dir.c_str());
+    std::printf("%zu keys on startup\n", kv.count());
+    kv.put("lang", "C++20");
+    kv.put("paper", "Mnemosyne: Lightweight Persistent Memory");
+    kv.put("venue", "ASPLOS 2011");
+    kv.put("runs", std::to_string(kv.count()));
+    std::string v;
+    kv.get("paper", &v);
+    std::printf("paper = %s\n", v.c_str());
+    kv.del("runs");
+    std::printf("%zu keys after demo; run again — they persist.\n",
+                kv.count());
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "apps/ldap.h"
+
+namespace mnemosyne::apps {
+
+// ----------------------------------------------------------------- back-bdb
+
+BackBdb::BackBdb(pcmdisk::MiniFs &fs, const std::string &prefix)
+    : db_(fs, prefix, storage::MiniBdbConfig{true, 1024})
+{
+}
+
+void
+BackBdb::add(const Entry &entry)
+{
+    const uint32_t tx = db_.begin();
+    db_.put(tx, entry.dn, entry.encode());
+    db_.commit(tx);
+    std::lock_guard<std::mutex> g(cacheMu_);
+    cache_[entry.dn] = entry;
+}
+
+std::optional<Entry>
+BackBdb::search(const std::string &dn)
+{
+    {
+        std::lock_guard<std::mutex> g(cacheMu_);
+        auto it = cache_.find(dn);
+        if (it != cache_.end())
+            return it->second;
+    }
+    std::string bytes;
+    if (!db_.get(dn, &bytes))
+        return std::nullopt;
+    Entry e = Entry::decode(bytes);
+    std::lock_guard<std::mutex> g(cacheMu_);
+    cache_[dn] = e;
+    return e;
+}
+
+size_t
+BackBdb::entryCount()
+{
+    return db_.count();
+}
+
+// ---------------------------------------------------------------- back-ldbm
+
+BackLdbm::BackLdbm(pcmdisk::MiniFs &fs, const std::string &prefix,
+                   size_t flush_every)
+    : db_(fs, prefix, storage::MiniBdbConfig{false, 1024}),
+      flushEvery_(flush_every)
+{
+}
+
+void
+BackLdbm::add(const Entry &entry)
+{
+    db_.put(0, entry.dn, entry.encode());
+    std::lock_guard<std::mutex> g(cacheMu_);
+    cache_[entry.dn] = entry;
+}
+
+void
+BackLdbm::tick()
+{
+    // "periodically asks Berkeley DB to flush dirty data to disk to
+    // minimize the window of vulnerability" (section 6.2).
+    if (sinceFlush_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+        flushEvery_) {
+        sinceFlush_.store(0, std::memory_order_relaxed);
+        db_.flush();
+    }
+}
+
+std::optional<Entry>
+BackLdbm::search(const std::string &dn)
+{
+    {
+        std::lock_guard<std::mutex> g(cacheMu_);
+        auto it = cache_.find(dn);
+        if (it != cache_.end())
+            return it->second;
+    }
+    std::string bytes;
+    if (!db_.get(dn, &bytes))
+        return std::nullopt;
+    Entry e = Entry::decode(bytes);
+    std::lock_guard<std::mutex> g(cacheMu_);
+    cache_[dn] = e;
+    return e;
+}
+
+size_t
+BackLdbm::entryCount()
+{
+    return db_.count();
+}
+
+// ----------------------------------------------------------- back-mnemosyne
+
+namespace {
+
+/**
+ * Persistent cache value: a generation stamp plus the encoded entry.
+ * The generation detects stale volatile attribute-description bindings
+ * after a restart (paper section 6.2); the entry encodes the names
+ * needed to re-resolve them.
+ */
+std::string
+stampValue(uint64_t generation, const std::string &encoded)
+{
+    std::string v(sizeof(uint64_t), 0);
+    std::memcpy(v.data(), &generation, sizeof(uint64_t));
+    v += encoded;
+    return v;
+}
+
+} // namespace
+
+BackMnemosyne::BackMnemosyne(Runtime &rt, AttrDescTable &descs,
+                             const std::string &name)
+    : rt_(rt), descs_(descs), cache_(rt, name)
+{
+}
+
+void
+BackMnemosyne::add(const Entry &entry)
+{
+    // The backing store is gone: the durable transaction on the AVL
+    // cache IS the persistence.  Attribute descriptions are resolved
+    // now (volatile pointers) and stamped with the current generation.
+    for (const auto &[attr, value] : entry.attrs) {
+        (void)value;
+        descs_.resolve(attr);
+    }
+    cache_.put(entry.dn, stampValue(descs_.generation(), entry.encode()));
+}
+
+std::optional<Entry>
+BackMnemosyne::search(const std::string &dn)
+{
+    std::string bytes;
+    if (!cache_.get(dn, &bytes) || bytes.size() < sizeof(uint64_t))
+        return std::nullopt;
+    uint64_t stamp = 0;
+    std::memcpy(&stamp, bytes.data(), sizeof(uint64_t));
+    Entry e = Entry::decode(bytes.substr(sizeof(uint64_t)));
+    if (stamp != descs_.generation()) {
+        // Volatile descriptions became stale across a restart:
+        // re-resolve by name and refresh the stamp (lazily, in place).
+        for (const auto &[attr, value] : e.attrs) {
+            (void)value;
+            descs_.resolve(attr);
+        }
+        cache_.put(dn, stampValue(descs_.generation(),
+                                  bytes.substr(sizeof(uint64_t))));
+    }
+    return e;
+}
+
+size_t
+BackMnemosyne::entryCount()
+{
+    return cache_.size();
+}
+
+} // namespace mnemosyne::apps

@@ -1,0 +1,124 @@
+#include "apps/ldap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scm/latency.h"
+
+namespace mnemosyne::apps {
+
+std::string
+Entry::encode() const
+{
+    serialize::OArchive oa;
+    oa &*const_cast<Entry *>(this);
+    return std::string(reinterpret_cast<const char *>(oa.buffer().data()),
+                       oa.buffer().size());
+}
+
+Entry
+Entry::decode(const std::string &bytes)
+{
+    std::vector<uint8_t> data(bytes.begin(), bytes.end());
+    serialize::IArchive ia(std::move(data));
+    Entry e;
+    ia &e;
+    return e;
+}
+
+AttrDescTable::AttrDescTable()
+{
+    static std::atomic<uint64_t> gen{0};
+    generation_ = gen.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+const AttrDescTable::Desc &
+AttrDescTable::resolve(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto &slot = descs_[name];
+    if (!slot) {
+        slot = std::make_unique<Desc>();
+        slot->name = name;
+        slot->id = nextId_++;
+    }
+    return *slot;
+}
+
+Entry
+DirectoryServer::parseLdif(const std::string &ldif)
+{
+    // A small but real LDIF parser: "attr: value" lines, dn first.
+    Entry e;
+    size_t pos = 0;
+    while (pos < ldif.size()) {
+        size_t eol = ldif.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = ldif.size();
+        const std::string line = ldif.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            throw std::invalid_argument("LDIF: malformed line: " + line);
+        std::string attr = line.substr(0, colon);
+        std::string value = line.substr(colon + 1);
+        if (!value.empty() && value[0] == ' ')
+            value.erase(0, 1);
+        std::transform(attr.begin(), attr.end(), attr.begin(), ::tolower);
+        if (attr == "dn") {
+            e.dn = value;
+        } else {
+            e.attrs.emplace_back(std::move(attr), std::move(value));
+        }
+    }
+    if (e.dn.empty())
+        throw std::invalid_argument("LDIF: entry without dn");
+    return e;
+}
+
+void
+DirectoryServer::schemaCheck(const Entry &entry)
+{
+    // The frontend work a real slapd performs before the backend: make
+    // sure structural attributes exist and values are sane.
+    bool has_oc = false;
+    for (const auto &[attr, value] : entry.attrs) {
+        if (value.empty())
+            throw std::invalid_argument("empty value for " + attr);
+        if (attr == "objectclass")
+            has_oc = true;
+    }
+    if (!has_oc)
+        throw std::invalid_argument("entry without objectClass: " + entry.dn);
+}
+
+void
+DirectoryServer::frontendWork()
+{
+    if (frontendUs_ > 0)
+        scm::DelayLoop::spin(frontendUs_ * 1000);
+}
+
+void
+DirectoryServer::addFromLdif(const std::string &ldif)
+{
+    Entry e = parseLdif(ldif);
+    schemaCheck(e);
+    frontendWork();
+    backend_.add(e);
+    backend_.tick();
+    processed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<Entry>
+DirectoryServer::search(const std::string &dn)
+{
+    frontendWork();
+    auto r = backend_.search(dn);
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+}
+
+} // namespace mnemosyne::apps

@@ -1,0 +1,57 @@
+#include "apps/ldif_workload.h"
+
+#include <cstdio>
+#include <random>
+
+namespace mnemosyne::apps {
+
+namespace {
+
+const char *const kFirstNames[] = {"alice", "bob",   "carol", "dave",
+                                   "erin",  "frank", "grace", "heidi",
+                                   "ivan",  "judy",  "mike",  "nina"};
+const char *const kLastNames[] = {"smith",  "jones", "brown",  "garcia",
+                                  "miller", "davis", "wilson", "moore",
+                                  "taylor", "lee",   "walker", "hall"};
+
+} // namespace
+
+LdifWorkload::LdifWorkload(uint64_t seed, std::string base_dn)
+    : seed_(seed), baseDn_(std::move(base_dn))
+{
+}
+
+std::string
+LdifWorkload::entryDn(uint64_t i) const
+{
+    char buf[64];
+    snprintf(buf, sizeof(buf), "uid=user%06llu,", (unsigned long long)i);
+    return std::string(buf) + baseDn_;
+}
+
+std::string
+LdifWorkload::entryLdif(uint64_t i) const
+{
+    std::mt19937_64 rng(seed_ * 1000003 + i);
+    const char *first = kFirstNames[rng() % std::size(kFirstNames)];
+    const char *last = kLastNames[rng() % std::size(kLastNames)];
+
+    std::string ldif;
+    ldif.reserve(512);
+    ldif += "dn: " + entryDn(i) + "\n";
+    ldif += "objectClass: inetOrgPerson\n";
+    ldif += "uid: user" + std::to_string(i) + "\n";
+    ldif += std::string("cn: ") + first + " " + last + "\n";
+    ldif += std::string("sn: ") + last + "\n";
+    ldif += std::string("givenName: ") + first + "\n";
+    ldif += std::string("mail: ") + first + "." + last + "@example.com\n";
+    ldif +=
+        "telephoneNumber: +1 555 " + std::to_string(1000 + rng() % 9000) +
+        " " + std::to_string(1000 + rng() % 9000) + "\n";
+    ldif += "employeeNumber: " + std::to_string(rng() % 1000000) + "\n";
+    ldif += "description: generated entry number " + std::to_string(i) +
+            " for the SLAMD-style add workload\n";
+    return ldif;
+}
+
+} // namespace mnemosyne::apps

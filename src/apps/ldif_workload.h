@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SLAMD-style workload generation: LDIF entries from an inetOrgPerson
+ * template, like the paper's "LDIF template to generate a workload of
+ * 100,000 directory entries" (section 6.2).
+ */
+
+#ifndef MNEMOSYNE_APPS_LDIF_WORKLOAD_H_
+#define MNEMOSYNE_APPS_LDIF_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mnemosyne::apps {
+
+class LdifWorkload
+{
+  public:
+    explicit LdifWorkload(uint64_t seed = 1,
+                          std::string base_dn = "ou=People,dc=example,"
+                                                "dc=com");
+
+    /** The LDIF text of the i-th generated entry (deterministic). */
+    std::string entryLdif(uint64_t i) const;
+
+    /** The DN of the i-th entry. */
+    std::string entryDn(uint64_t i) const;
+
+  private:
+    uint64_t seed_;
+    std::string baseDn_;
+};
+
+} // namespace mnemosyne::apps
+
+#endif // MNEMOSYNE_APPS_LDIF_WORKLOAD_H_

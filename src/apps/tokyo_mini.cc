@@ -1,0 +1,60 @@
+#include "apps/tokyo_mini.h"
+
+namespace mnemosyne::apps {
+
+TokyoMini::TokyoMini(pcmdisk::MiniFs &fs, const std::string &prefix)
+    : mode_(Mode::kMsync)
+{
+    storage::MiniBdbConfig cfg;
+    cfg.transactional = false; // TC does not write-ahead log; it msyncs
+    cfg.nbuckets = 1024;
+    db_ = std::make_unique<storage::MiniBdb>(fs, prefix, cfg);
+}
+
+TokyoMini::TokyoMini(Runtime &rt, const std::string &name)
+    : mode_(Mode::kMnemosyne)
+{
+    tree_ = std::make_unique<ds::PBpTree>(rt, name);
+}
+
+void
+TokyoMini::put(std::string_view key, std::string_view value)
+{
+    if (mode_ == Mode::kMsync) {
+        db_->put(0, key, value);
+        db_->flush(); // msync after every update
+    } else {
+        tree_->put(key, value);
+    }
+}
+
+bool
+TokyoMini::get(std::string_view key, std::string *value)
+{
+    if (mode_ == Mode::kMsync)
+        return db_->get(key, value);
+    return tree_->get(key, value);
+}
+
+bool
+TokyoMini::del(std::string_view key)
+{
+    if (mode_ == Mode::kMsync) {
+        const bool hit = db_->del(0, key);
+        if (hit)
+            db_->flush();
+        return hit;
+    }
+    const bool hit = tree_->del(key);
+    return hit;
+}
+
+size_t
+TokyoMini::count()
+{
+    if (mode_ == Mode::kMsync)
+        return db_->count();
+    return tree_->size();
+}
+
+} // namespace mnemosyne::apps

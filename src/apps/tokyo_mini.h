@@ -1,0 +1,61 @@
+/**
+ * @file
+ * TokyoMini: a miniature Tokyo Cabinet — "a high-performance key-value
+ * store [that] stores data in a B+ tree" — in the two configurations
+ * of Table 4:
+ *
+ *  - kMsync: the standard design.  Data lives in page-structured
+ *    storage backed by a memory-mapped file on the PCM-disk, and after
+ *    every update the store flushes modified pages (the paper
+ *    "configured it to save data with msync after every update").
+ *    Torn pages on crash are possible — the weakness the paper calls
+ *    out.
+ *  - kMnemosyne: the Mnemosyne port.  The B+ tree is allocated in a
+ *    persistent region and every update runs in a durable transaction;
+ *    the msync persistence code is removed, and so are the tree locks
+ *    (transactions provide concurrency control).
+ */
+
+#ifndef MNEMOSYNE_APPS_TOKYO_MINI_H_
+#define MNEMOSYNE_APPS_TOKYO_MINI_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ds/pbp_tree.h"
+#include "pcmdisk/minifs.h"
+#include "runtime/runtime.h"
+#include "storage/minibdb.h"
+
+namespace mnemosyne::apps {
+
+class TokyoMini
+{
+  public:
+    enum class Mode { kMsync, kMnemosyne };
+
+    /** The msync-on-PCM-disk configuration. */
+    TokyoMini(pcmdisk::MiniFs &fs, const std::string &prefix);
+
+    /** The Mnemosyne configuration. */
+    TokyoMini(Runtime &rt, const std::string &name);
+
+    void put(std::string_view key, std::string_view value);
+    bool get(std::string_view key, std::string *value);
+    bool del(std::string_view key);
+    size_t count();
+
+    Mode mode() const { return mode_; }
+
+  private:
+    Mode mode_;
+    // kMsync state: page store on the PCM-disk.
+    std::unique_ptr<storage::MiniBdb> db_;
+    // kMnemosyne state: persistent B+ tree.
+    std::unique_ptr<ds::PBpTree> tree_;
+};
+
+} // namespace mnemosyne::apps
+
+#endif // MNEMOSYNE_APPS_TOKYO_MINI_H_

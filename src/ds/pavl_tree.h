@@ -1,0 +1,88 @@
+/**
+ * @file
+ * PAvlTree: an AVL tree in persistent memory.
+ *
+ * This is the structure the paper uses for OpenLDAP's persistent cache
+ * (section 6.2): "The cache is organized using an AVL tree, which we
+ * make persistent by allocating nodes with pmalloc and placing atomic
+ * blocks around updates."  Keys and values are byte strings stored
+ * inline in the node; value replacement splices in a freshly allocated
+ * node (keeping all persistent writes word-sized and transactional).
+ */
+
+#ifndef MNEMOSYNE_DS_PAVL_TREE_H_
+#define MNEMOSYNE_DS_PAVL_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "runtime/runtime.h"
+
+namespace mnemosyne::ds {
+
+class PAvlTree
+{
+  public:
+    PAvlTree(Runtime &rt, const std::string &name);
+
+    /** Insert or replace, durably, in one transaction. */
+    void put(std::string_view key, std::string_view value);
+
+    bool get(std::string_view key, std::string *value);
+
+    bool del(std::string_view key);
+
+    size_t size() const;
+
+    /** In-order visit (inside one read-only transaction). */
+    void forEach(
+        const std::function<void(std::string_view, std::string_view)> &fn);
+
+    /** Height of the tree (0 when empty), for balance checks. */
+    size_t height();
+
+  private:
+    struct Node {
+        Node *left;
+        Node *right;
+        uint64_t height;
+        uint32_t klen;
+        uint32_t vlen;
+        char kv[];
+    };
+
+    struct Header {
+        Node *root;
+        uint64_t count;
+    };
+
+    Node *makeNode(std::string_view key, std::string_view value);
+    std::string readKey(mtm::Txn &tx, Node *n);
+    /** <0, 0, >0 as @p key compares to n's key (lazy chunked reads). */
+    int cmpKey(mtm::Txn &tx, Node *n, std::string_view key);
+
+    uint64_t heightOf(mtm::Txn &tx, Node *n);
+    void fixHeight(mtm::Txn &tx, Node *n);
+    Node *rotateRight(mtm::Txn &tx, Node *n);
+    Node *rotateLeft(mtm::Txn &tx, Node *n);
+    Node *rebalance(mtm::Txn &tx, Node *n);
+
+    Node *insertRec(mtm::Txn &tx, Node *n, std::string_view key,
+                    Node *fresh, bool *replaced);
+    Node *eraseRec(mtm::Txn &tx, Node *n, std::string_view key,
+                   bool *removed);
+    Node *extractMin(mtm::Txn &tx, Node *n, Node **min);
+    void visitRec(mtm::Txn &tx, Node *n,
+                  const std::function<void(std::string_view,
+                                           std::string_view)> &fn,
+                  std::string &kbuf, std::string &vbuf);
+
+    Runtime &rt_;
+    Header *hdr_;
+};
+
+} // namespace mnemosyne::ds
+
+#endif // MNEMOSYNE_DS_PAVL_TREE_H_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * PBpTree: a B+ tree in persistent memory — the structure Tokyo
+ * Cabinet keeps its data in (paper section 6.2).  The Mnemosyne port
+ * of Tokyo Cabinet "allocate[s] its B+ tree in a persistent region and
+ * perform[s] updates in durable transactions"; this class is that
+ * tree.
+ *
+ * Keys are short byte strings stored inline in the nodes; values live
+ * in separately pmalloc'ed blocks referenced from the leaves.  Splits
+ * allocate through the runtime's staging slots, so a crash in the
+ * middle of a multi-node split can neither leak nodes nor expose a
+ * half-split tree.
+ *
+ * Deletion removes the key from its leaf without rebalancing (lazy
+ * deletion); the paper's insert/delete workload keeps occupancy
+ * steady, and structural merging is orthogonal to the persistence
+ * mechanisms under study.
+ */
+
+#ifndef MNEMOSYNE_DS_PBP_TREE_H_
+#define MNEMOSYNE_DS_PBP_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "runtime/runtime.h"
+
+namespace mnemosyne::ds {
+
+class PBpTree
+{
+  public:
+    static constexpr size_t kOrder = 8;        ///< Max keys per node.
+    static constexpr size_t kMaxKeyBytes = 24;
+
+    PBpTree(Runtime &rt, const std::string &name);
+
+    /** Insert or replace, durably, in one transaction. */
+    void put(std::string_view key, std::string_view value);
+
+    bool get(std::string_view key, std::string *value);
+
+    /** Lazy delete; returns false if the key was absent. */
+    bool del(std::string_view key);
+
+    size_t size() const;
+
+    /** Visit all live keys in order (via the leaf chain). */
+    void forEach(
+        const std::function<void(std::string_view, std::string_view)> &fn);
+
+    /** Validate ordering and structural invariants; returns height. */
+    size_t checkInvariants();
+
+  private:
+    struct KeySlot {
+        uint32_t len;
+        char bytes[kMaxKeyBytes];
+    };
+
+    struct ValueRef {
+        void *block;    ///< pmalloc'ed: [u32 len][bytes]
+    };
+
+    struct Node {
+        uint64_t isLeaf;
+        uint64_t n;                     ///< Live keys in this node.
+        KeySlot keys[kOrder];
+        union {
+            Node *children[kOrder + 1]; // internal
+            struct {
+                ValueRef vals[kOrder];
+                Node *nextLeaf;
+            } leaf;
+        };
+    };
+
+    struct Header {
+        Node *root;
+        uint64_t count;
+    };
+
+    Node *makeNode(bool leaf);
+    void *makeValue(mtm::Txn &tx, std::string_view value);
+    std::string keyAt(mtm::Txn &tx, Node *n, size_t i);
+    std::string readValue(mtm::Txn &tx, void *block);
+    void setKey(mtm::Txn &tx, Node *n, size_t i, std::string_view key);
+
+    /** Find child index for @p key in internal node @p n. */
+    size_t childIndex(mtm::Txn &tx, Node *n, std::string_view key);
+
+    /** Slot of @p key in leaf (or insertion point); found flag out. */
+    size_t leafSlot(mtm::Txn &tx, Node *n, std::string_view key,
+                    bool *found);
+
+    void insertIntoLeaf(mtm::Txn &tx, Node *leaf, size_t at,
+                        std::string_view key, void *vblock);
+    /** Split @p node; returns new right sibling and its separator key. */
+    Node *splitNode(mtm::Txn &tx, Node *node, std::string *sep);
+
+    size_t checkRec(mtm::Txn &tx, Node *n, std::string *min,
+                    std::string *max);
+
+    Runtime &rt_;
+    Header *hdr_;
+};
+
+} // namespace mnemosyne::ds
+
+#endif // MNEMOSYNE_DS_PBP_TREE_H_

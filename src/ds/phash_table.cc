@@ -1,0 +1,200 @@
+#include "ds/phash_table.h"
+
+#include <cstring>
+#include <vector>
+
+#include "scm/scm.h"
+
+namespace mnemosyne::ds {
+
+uint64_t
+PHashTable::hashOf(std::string_view key)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+PHashTable::PHashTable(Runtime &rt, const std::string &name, size_t nbuckets,
+                       bool instrumented_values)
+    : rt_(rt), instrumentedValues_(instrumented_values)
+{
+    hdr_ = static_cast<Header *>(
+        rt_.regions().pstaticVar(name, sizeof(Header), nullptr));
+    if (hdr_->initDone)
+        return;
+
+    auto &c = scm::ctx();
+    if (hdr_->buckets == nullptr) {
+        rt_.pmalloc(nbuckets * sizeof(Node *), &hdr_->buckets);
+    }
+    // (Re-)zero the bucket array: a crash between the allocation and
+    // the initDone flag re-runs this idempotently.
+    std::vector<uint8_t> zero(nbuckets * sizeof(Node *), 0);
+    c.wtstore(hdr_->buckets, zero.data(), zero.size());
+    c.wtstoreT(&hdr_->nbuckets, uint64_t(nbuckets));
+    c.wtstoreT(&hdr_->count, uint64_t(0));
+    c.fence();
+    c.wtstoreT(&hdr_->initDone, uint64_t(1));
+    c.fence();
+}
+
+PHashTable::Node *
+PHashTable::makeNode(std::string_view key, std::string_view value)
+{
+    auto *node = static_cast<Node *>(
+        rt_.stageAlloc(sizeof(Node) + key.size() + value.size()));
+    // The node is private until linked: initialize it with streaming
+    // writes; the linking transaction's commit fence makes both the
+    // node image and the link durable together.
+    auto &c = scm::ctx();
+    Node init;
+    init.next = nullptr;
+    init.hash = hashOf(key);
+    init.klen = uint32_t(key.size());
+    init.vlen = uint32_t(value.size());
+    c.wtstore(node, &init, sizeof(Node));
+    if (!instrumentedValues_) {
+        // Ablation mode: stream the bytes into the still-private node;
+        // the linking transaction's commit fence covers them.
+        c.wtstore(node->kv, key.data(), key.size());
+        c.wtstore(node->kv + key.size(), value.data(), value.size());
+    }
+    // Otherwise the key/value bytes are written inside the transaction
+    // (see put()): the paper's compiler instruments every store in the
+    // atomic block, so the value is logged and written back per word.
+    return node;
+}
+
+void
+PHashTable::put(std::string_view key, std::string_view value)
+{
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+
+    rt_.atomic([&](mtm::Txn &tx) {
+        rt_.resetStaging();
+        Node *node = makeNode(key, value);
+        if (instrumentedValues_) {
+            tx.write(node->kv, key.data(), key.size());
+            tx.write(node->kv + key.size(), value.data(), value.size());
+        }
+
+        // Walk the chain looking for an existing key to replace.
+        Node *prev = nullptr;
+        Node *cur = tx.readT<Node *>(bucket);
+        while (cur != nullptr) {
+            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
+            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
+            if (chash == h && cklen == key.size()) {
+                std::string k(cklen, 0);
+                tx.read(k.data(), cur->kv, cklen);
+                if (k == key)
+                    break;
+            }
+            prev = cur;
+            cur = tx.readT<Node *>(&cur->next);
+        }
+
+        if (cur != nullptr) {
+            // Replace: splice the new node in place of the old one.
+            tx.writeT<Node *>(&node->next, tx.readT<Node *>(&cur->next));
+            if (prev) {
+                tx.writeT<Node *>(&prev->next, node);
+            } else {
+                tx.writeT<Node *>(bucket, node);
+            }
+            rt_.stageFree(tx, cur);
+        } else {
+            tx.writeT<Node *>(&node->next, tx.readT<Node *>(bucket));
+            tx.writeT<Node *>(bucket, node);
+            tx.writeT<uint64_t>(&hdr_->count,
+                                tx.readT<uint64_t>(&hdr_->count) + 1);
+        }
+        rt_.clearAllocStaging(tx);
+    });
+    rt_.reapStagedFree();
+}
+
+bool
+PHashTable::get(std::string_view key, std::string *value)
+{
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    bool found = false;
+
+    rt_.atomic([&](mtm::Txn &tx) {
+        found = false;
+        Node *cur = tx.readT<Node *>(bucket);
+        while (cur != nullptr) {
+            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
+            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
+            if (chash == h && cklen == key.size()) {
+                std::string k(cklen, 0);
+                tx.read(k.data(), cur->kv, cklen);
+                if (k == key) {
+                    if (value) {
+                        const uint32_t vlen =
+                            tx.readT<uint32_t>(&cur->vlen);
+                        value->resize(vlen);
+                        tx.read(value->data(), cur->kv + cklen, vlen);
+                    }
+                    found = true;
+                    return;
+                }
+            }
+            cur = tx.readT<Node *>(&cur->next);
+        }
+    });
+    return found;
+}
+
+bool
+PHashTable::del(std::string_view key)
+{
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    bool removed = false;
+
+    rt_.atomic([&](mtm::Txn &tx) {
+        removed = false;
+        Node *prev = nullptr;
+        Node *cur = tx.readT<Node *>(bucket);
+        while (cur != nullptr) {
+            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
+            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
+            if (chash == h && cklen == key.size()) {
+                std::string k(cklen, 0);
+                tx.read(k.data(), cur->kv, cklen);
+                if (k == key) {
+                    Node *next = tx.readT<Node *>(&cur->next);
+                    if (prev) {
+                        tx.writeT<Node *>(&prev->next, next);
+                    } else {
+                        tx.writeT<Node *>(bucket, next);
+                    }
+                    tx.writeT<uint64_t>(
+                        &hdr_->count, tx.readT<uint64_t>(&hdr_->count) - 1);
+                    rt_.stageFree(tx, cur);
+                    removed = true;
+                    return;
+                }
+            }
+            prev = cur;
+            cur = tx.readT<Node *>(&cur->next);
+        }
+    });
+    rt_.reapStagedFree();
+    return removed;
+}
+
+size_t
+PHashTable::size() const
+{
+    return size_t(hdr_->count);
+}
+
+} // namespace mnemosyne::ds

@@ -1,0 +1,249 @@
+#include "ds/prb_tree.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "scm/scm.h"
+
+namespace mnemosyne::ds {
+
+PRbTree::PRbTree(Runtime &rt, const std::string &name) : rt_(rt)
+{
+    hdr_ = static_cast<Header *>(
+        rt_.regions().pstaticVar(name, sizeof(Header), nullptr));
+}
+
+void
+PRbTree::rotateLeft(mtm::Txn &tx, Node *x)
+{
+    Node *y = tx.readT<Node *>(&x->right);
+    Node *yl = tx.readT<Node *>(&y->left);
+    tx.writeT<Node *>(&x->right, yl);
+    if (yl)
+        tx.writeT<Node *>(&yl->parent, x);
+    Node *xp = tx.readT<Node *>(&x->parent);
+    tx.writeT<Node *>(&y->parent, xp);
+    if (xp == nullptr) {
+        tx.writeT<Node *>(&hdr_->root, y);
+    } else if (tx.readT<Node *>(&xp->left) == x) {
+        tx.writeT<Node *>(&xp->left, y);
+    } else {
+        tx.writeT<Node *>(&xp->right, y);
+    }
+    tx.writeT<Node *>(&y->left, x);
+    tx.writeT<Node *>(&x->parent, y);
+}
+
+void
+PRbTree::rotateRight(mtm::Txn &tx, Node *x)
+{
+    Node *y = tx.readT<Node *>(&x->left);
+    Node *yr = tx.readT<Node *>(&y->right);
+    tx.writeT<Node *>(&x->left, yr);
+    if (yr)
+        tx.writeT<Node *>(&yr->parent, x);
+    Node *xp = tx.readT<Node *>(&x->parent);
+    tx.writeT<Node *>(&y->parent, xp);
+    if (xp == nullptr) {
+        tx.writeT<Node *>(&hdr_->root, y);
+    } else if (tx.readT<Node *>(&xp->right) == x) {
+        tx.writeT<Node *>(&xp->right, y);
+    } else {
+        tx.writeT<Node *>(&xp->left, y);
+    }
+    tx.writeT<Node *>(&y->right, x);
+    tx.writeT<Node *>(&x->parent, y);
+}
+
+void
+PRbTree::insertFixup(mtm::Txn &tx, Node *z)
+{
+    while (true) {
+        Node *p = tx.readT<Node *>(&z->parent);
+        if (p == nullptr || tx.readT<uint64_t>(&p->color) == kBlack)
+            break;
+        Node *g = tx.readT<Node *>(&p->parent);
+        if (tx.readT<Node *>(&g->left) == p) {
+            Node *u = tx.readT<Node *>(&g->right);
+            if (u && tx.readT<uint64_t>(&u->color) == kRed) {
+                tx.writeT<uint64_t>(&p->color, kBlack);
+                tx.writeT<uint64_t>(&u->color, kBlack);
+                tx.writeT<uint64_t>(&g->color, kRed);
+                z = g;
+                continue;
+            }
+            if (tx.readT<Node *>(&p->right) == z) {
+                z = p;
+                rotateLeft(tx, z);
+                p = tx.readT<Node *>(&z->parent);
+                g = tx.readT<Node *>(&p->parent);
+            }
+            tx.writeT<uint64_t>(&p->color, kBlack);
+            tx.writeT<uint64_t>(&g->color, kRed);
+            rotateRight(tx, g);
+        } else {
+            Node *u = tx.readT<Node *>(&g->left);
+            if (u && tx.readT<uint64_t>(&u->color) == kRed) {
+                tx.writeT<uint64_t>(&p->color, kBlack);
+                tx.writeT<uint64_t>(&u->color, kBlack);
+                tx.writeT<uint64_t>(&g->color, kRed);
+                z = g;
+                continue;
+            }
+            if (tx.readT<Node *>(&p->left) == z) {
+                z = p;
+                rotateRight(tx, z);
+                p = tx.readT<Node *>(&z->parent);
+                g = tx.readT<Node *>(&p->parent);
+            }
+            tx.writeT<uint64_t>(&p->color, kBlack);
+            tx.writeT<uint64_t>(&g->color, kRed);
+            rotateLeft(tx, g);
+        }
+    }
+    Node *root = tx.readT<Node *>(&hdr_->root);
+    tx.writeT<uint64_t>(&root->color, kBlack);
+}
+
+void
+PRbTree::put(uint64_t key, const void *payload, size_t len)
+{
+    if (len > kPayloadBytes)
+        throw std::invalid_argument("PRbTree payload too large");
+
+    rt_.atomic([&](mtm::Txn &tx) {
+        rt_.resetStaging();
+
+        // Find the attachment point (or the node to update).
+        Node *parent = nullptr;
+        Node *cur = tx.readT<Node *>(&hdr_->root);
+        while (cur != nullptr) {
+            const uint64_t ck = tx.readT<uint64_t>(&cur->key);
+            if (ck == key) {
+                tx.write(cur->payload, payload, len);
+                rt_.clearAllocStaging(tx);
+                return;
+            }
+            parent = cur;
+            cur = (key < ck) ? tx.readT<Node *>(&cur->left)
+                             : tx.readT<Node *>(&cur->right);
+        }
+
+        // Every store of the new node goes through the transaction,
+        // as the paper's instrumenting compiler would emit.
+        auto *z = static_cast<Node *>(rt_.stageAlloc(sizeof(Node)));
+        tx.writeT<Node *>(&z->left, nullptr);
+        tx.writeT<Node *>(&z->right, nullptr);
+        tx.writeT<Node *>(&z->parent, parent);
+        tx.writeT<uint64_t>(&z->key, key);
+        tx.writeT<uint64_t>(&z->color, kRed);
+        uint8_t padded[kPayloadBytes] = {};
+        std::memcpy(padded, payload, len);
+        tx.write(z->payload, padded, kPayloadBytes);
+
+        if (parent == nullptr) {
+            tx.writeT<Node *>(&hdr_->root, z);
+        } else if (key < tx.readT<uint64_t>(&parent->key)) {
+            tx.writeT<Node *>(&parent->left, z);
+        } else {
+            tx.writeT<Node *>(&parent->right, z);
+        }
+        insertFixup(tx, z);
+        tx.writeT<uint64_t>(&hdr_->count,
+                            tx.readT<uint64_t>(&hdr_->count) + 1);
+        rt_.clearAllocStaging(tx);
+    });
+}
+
+bool
+PRbTree::get(uint64_t key, void *out)
+{
+    bool found = false;
+    rt_.atomic([&](mtm::Txn &tx) {
+        found = false;
+        Node *cur = tx.readT<Node *>(&hdr_->root);
+        while (cur != nullptr) {
+            const uint64_t ck = tx.readT<uint64_t>(&cur->key);
+            if (ck == key) {
+                if (out)
+                    tx.read(out, cur->payload, kPayloadBytes);
+                found = true;
+                return;
+            }
+            cur = (key < ck) ? tx.readT<Node *>(&cur->left)
+                             : tx.readT<Node *>(&cur->right);
+        }
+    });
+    return found;
+}
+
+size_t
+PRbTree::size() const
+{
+    return size_t(hdr_->count);
+}
+
+void
+PRbTree::forEachKey(const std::function<void(uint64_t)> &fn)
+{
+    rt_.atomic([&](mtm::Txn &tx) {
+        // Iterative in-order walk (left-spine stack).
+        std::vector<Node *> stack;
+        Node *cur = tx.readT<Node *>(&hdr_->root);
+        while (cur != nullptr || !stack.empty()) {
+            while (cur != nullptr) {
+                stack.push_back(cur);
+                cur = tx.readT<Node *>(&cur->left);
+            }
+            cur = stack.back();
+            stack.pop_back();
+            fn(tx.readT<uint64_t>(&cur->key));
+            cur = tx.readT<Node *>(&cur->right);
+        }
+    });
+}
+
+size_t
+PRbTree::checkRec(mtm::Txn &tx, Node *n, uint64_t *min, uint64_t *max)
+{
+    if (n == nullptr)
+        return 1;
+    const uint64_t key = tx.readT<uint64_t>(&n->key);
+    const uint64_t color = tx.readT<uint64_t>(&n->color);
+    Node *l = tx.readT<Node *>(&n->left);
+    Node *r = tx.readT<Node *>(&n->right);
+
+    if (color == kRed) {
+        if ((l && tx.readT<uint64_t>(&l->color) == kRed) ||
+            (r && tx.readT<uint64_t>(&r->color) == kRed)) {
+            throw std::logic_error("red-red violation");
+        }
+    }
+    uint64_t lmin = key, lmax = key, rmin = key, rmax = key;
+    const size_t lb = checkRec(tx, l, &lmin, &lmax);
+    const size_t rb = checkRec(tx, r, &rmin, &rmax);
+    if (lb != rb)
+        throw std::logic_error("black-height violation");
+    if ((l && lmax >= key) || (r && rmin <= key))
+        throw std::logic_error("ordering violation");
+    *min = l ? lmin : key;
+    *max = r ? rmax : key;
+    return lb + (color == kBlack ? 1 : 0);
+}
+
+size_t
+PRbTree::checkInvariants()
+{
+    size_t bh = 0;
+    rt_.atomic([&](mtm::Txn &tx) {
+        Node *root = tx.readT<Node *>(&hdr_->root);
+        if (root && tx.readT<uint64_t>(&root->color) != kBlack)
+            throw std::logic_error("root must be black");
+        uint64_t mn = 0, mx = 0;
+        bh = checkRec(tx, root, &mn, &mx);
+    });
+    return bh;
+}
+
+} // namespace mnemosyne::ds

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * PRbTree: a red-black tree with 128-byte nodes in persistent memory —
+ * the structure of the Table 5 study ("the cost of maintaining a
+ * red-black tree with 128 byte nodes in persistent memory" vs.
+ * serializing it to a file).
+ *
+ * Keys are 64-bit integers; each node carries a fixed 88-byte payload
+ * so that sizeof(Node) is exactly 128 bytes, as in the paper.
+ */
+
+#ifndef MNEMOSYNE_DS_PRB_TREE_H_
+#define MNEMOSYNE_DS_PRB_TREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "runtime/runtime.h"
+
+namespace mnemosyne::ds {
+
+class PRbTree
+{
+  public:
+    static constexpr size_t kPayloadBytes = 88;
+    static constexpr size_t kNodeBytes = 128;
+
+    PRbTree(Runtime &rt, const std::string &name);
+
+    /** Insert or update key with the given payload, in one durable
+     *  transaction. */
+    void put(uint64_t key, const void *payload, size_t len);
+
+    /** Read a node's payload into @p out (kPayloadBytes). */
+    bool get(uint64_t key, void *out);
+
+    size_t size() const;
+
+    /** In-order key visit (read-only transaction). */
+    void forEachKey(const std::function<void(uint64_t)> &fn);
+
+    /**
+     * Verify the red-black invariants: root black, no red-red edges,
+     * equal black height on every path, and keys in order.  Throws on
+     * violation; returns the black height.
+     */
+    size_t checkInvariants();
+
+  private:
+    enum Color : uint64_t { kRed = 0, kBlack = 1 };
+
+    struct Node {
+        Node *left;
+        Node *right;
+        Node *parent;
+        uint64_t key;
+        uint64_t color;
+        uint8_t payload[kPayloadBytes];
+    };
+    static_assert(sizeof(Node) == kNodeBytes);
+
+    struct Header {
+        Node *root;
+        uint64_t count;
+    };
+
+    void rotateLeft(mtm::Txn &tx, Node *x);
+    void rotateRight(mtm::Txn &tx, Node *x);
+    void insertFixup(mtm::Txn &tx, Node *z);
+    size_t checkRec(mtm::Txn &tx, Node *n, uint64_t *min, uint64_t *max);
+
+    Runtime &rt_;
+    Header *hdr_;
+};
+
+} // namespace mnemosyne::ds
+
+#endif // MNEMOSYNE_DS_PRB_TREE_H_

@@ -1,0 +1,2 @@
+// VRbTree is header-only; this translation unit anchors the component.
+#include "ds/vrb_tree.h"

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * VRbTree: the volatile red-black tree of the Table 5 baseline — kept
+ * in DRAM and periodically serialized to a file on the PCM-disk
+ * ("the cost of keeping it in DRAM and periodically serializing it and
+ * storing it in a file").
+ *
+ * Nodes match PRbTree's shape (64-bit key + 88-byte payload = 128-byte
+ * nodes); the tree itself is std::map, which is a red-black tree in
+ * every mainstream implementation.  serialize() walks the tree through
+ * the archive framework exactly the way a Boost-based fast-save would.
+ */
+
+#ifndef MNEMOSYNE_DS_VRB_TREE_H_
+#define MNEMOSYNE_DS_VRB_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+
+#include "serialize/archive.h"
+
+namespace mnemosyne::ds {
+
+class VRbTree
+{
+  public:
+    static constexpr size_t kPayloadBytes = 88;
+    using Payload = std::array<uint8_t, kPayloadBytes>;
+
+    void
+    put(uint64_t key, const void *payload, size_t len)
+    {
+        Payload p{};
+        std::memcpy(p.data(), payload, std::min(len, kPayloadBytes));
+        map_[key] = p;
+    }
+
+    bool
+    get(uint64_t key, void *out) const
+    {
+        auto it = map_.find(key);
+        if (it == map_.end())
+            return false;
+        if (out)
+            std::memcpy(out, it->second.data(), kPayloadBytes);
+        return true;
+    }
+
+    size_t size() const { return map_.size(); }
+
+    template <typename Archive>
+    void
+    serialize(Archive &ar, unsigned)
+    {
+        if constexpr (std::is_same_v<Archive, serialize::OArchive>) {
+            uint64_t n = map_.size();
+            ar &n;
+            for (auto &[key, payload] : map_) {
+                uint64_t k = key;
+                ar &k;
+                for (auto b : payload)
+                    ar &b;
+            }
+        } else {
+            uint64_t n = 0;
+            ar &n;
+            map_.clear();
+            for (uint64_t i = 0; i < n; ++i) {
+                uint64_t k = 0;
+                ar &k;
+                Payload p{};
+                for (auto &b : p)
+                    ar &b;
+                map_[k] = p;
+            }
+        }
+    }
+
+    /** Serialize the whole tree and store it on the PCM-disk. */
+    void
+    saveToFile(pcmdisk::MiniFs &fs, const std::string &name)
+    {
+        serialize::OArchive oa;
+        oa &*this;
+        oa.saveToFile(fs, name);
+    }
+
+    static VRbTree
+    loadFromFile(pcmdisk::MiniFs &fs, const std::string &name)
+    {
+        auto ia = serialize::IArchive::loadFromFile(fs, name);
+        VRbTree t;
+        ia &t;
+        return t;
+    }
+
+  private:
+    std::map<uint64_t, Payload> map_;
+};
+
+} // namespace mnemosyne::ds
+
+#endif // MNEMOSYNE_DS_VRB_TREE_H_

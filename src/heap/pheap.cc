@@ -1,0 +1,92 @@
+#include "heap/pheap.h"
+
+#include <cassert>
+#include <new>
+#include <stdexcept>
+
+namespace mnemosyne::heap {
+
+PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes)
+    : rl_(rl)
+{
+    auto small_region = rl.findByFlags(region::kRegionHeap);
+    if (small_region.addr == nullptr) {
+        void *mem = rl.pmap(nullptr, small_bytes, region::kRegionHeap);
+        small_ = SuperblockHeap::create(mem, small_bytes);
+    } else {
+        small_ = SuperblockHeap::open(small_region.addr);
+        if (!small_)
+            throw std::runtime_error("PHeap: corrupt superblock heap");
+    }
+    initStats_.scavenged_superblocks = small_->stats().superblocks;
+
+    auto big_region = rl.findByFlags(region::kRegionHeapBig);
+    if (big_region.addr == nullptr) {
+        void *mem = rl.pmap(nullptr, big_bytes, region::kRegionHeapBig);
+        big_ = BigAlloc::create(mem, big_bytes);
+    } else {
+        big_ = BigAlloc::open(big_region.addr);
+        if (!big_)
+            throw std::runtime_error("PHeap: corrupt big-block heap");
+    }
+    initStats_.walked_chunks = big_->rebuildFreeList();
+}
+
+void
+PHeap::pmalloc(size_t size, void *pptr)
+{
+    assert(pptr != nullptr);
+    std::lock_guard<std::mutex> g(mu_);
+    auto **slot = static_cast<void **>(pptr);
+    if (size <= SuperblockHeap::kMaxBlock) {
+        if (small_->allocate(size, slot))
+            return;
+        // Small heap exhausted: fall through to the big allocator.
+    }
+    if (!big_->allocate(size, slot))
+        throw std::bad_alloc();
+}
+
+void
+PHeap::pfree(void *pptr)
+{
+    assert(pptr != nullptr);
+    std::lock_guard<std::mutex> g(mu_);
+    auto **slot = static_cast<void **>(pptr);
+    void *p = *slot;
+    assert(p != nullptr && "pfree of null pointer");
+    if (small_->owns(p)) {
+        small_->free(slot);
+    } else if (big_->owns(p)) {
+        big_->free(slot);
+    } else {
+        throw std::invalid_argument("pfree: pointer not from this heap");
+    }
+}
+
+size_t
+PHeap::usableSize(const void *p) const
+{
+    if (small_->owns(p))
+        return small_->blockSize(p);
+    if (big_->owns(p))
+        return big_->blockSize(p);
+    return 0;
+}
+
+bool
+PHeap::owns(const void *p) const
+{
+    return small_->owns(p) || big_->owns(p);
+}
+
+PHeapStats
+PHeap::stats() const
+{
+    PHeapStats s = initStats_;
+    s.small = small_->stats();
+    s.big = big_->stats();
+    return s;
+}
+
+} // namespace mnemosyne::heap

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The persistent heap facade: pmalloc / pfree (paper sections 3.2.2 and
+ * 4.3).
+ *
+ * Requests smaller than a superblock go to the modified Hoard
+ * (SuperblockHeap); larger requests fall back to the dlmalloc-style
+ * BigAlloc.  Allocated memory and allocation sizes persist across
+ * program invocations, so memory can be allocated during one invocation
+ * and freed during the next.
+ *
+ * pmalloc takes a pointer to a persistent pointer so that memory is not
+ * lost if a crash happens just after an allocation; pfree takes the
+ * same so the pointer does not keep referring to a deallocated chunk if
+ * the system fails just after a deallocation (section 3.4).
+ */
+
+#ifndef MNEMOSYNE_HEAP_PHEAP_H_
+#define MNEMOSYNE_HEAP_PHEAP_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "heap/big_alloc.h"
+#include "heap/superblock_heap.h"
+#include "region/region_table.h"
+
+namespace mnemosyne::heap {
+
+struct PHeapStats {
+    SbHeapStats small;
+    BigAllocStats big;
+    size_t scavenged_superblocks = 0;
+    size_t walked_chunks = 0;
+};
+
+class PHeap
+{
+  public:
+    /**
+     * Create or recover the process's persistent heap: locates (or
+     * pmaps on first run) the heap regions, replays interrupted
+     * operations, and scavenges the volatile indexes.
+     */
+    PHeap(region::RegionLayer &rl, size_t small_bytes = size_t(32) << 20,
+          size_t big_bytes = size_t(32) << 20);
+
+    PHeap(const PHeap &) = delete;
+    PHeap &operator=(const PHeap &) = delete;
+
+    /**
+     * Set *@p pptr to point to a newly allocated persistent chunk of
+     * @p size bytes (the paper's pmalloc).  Throws std::bad_alloc when
+     * the heap is exhausted.
+     */
+    void pmalloc(size_t size, void *pptr);
+
+    /** Deallocate the chunk pointed to by *@p pptr and nullify it. */
+    void pfree(void *pptr);
+
+    /** Usable size of an allocated chunk. */
+    size_t usableSize(const void *p) const;
+
+    bool owns(const void *p) const;
+
+    PHeapStats stats() const;
+
+  private:
+    region::RegionLayer &rl_;
+    std::unique_ptr<SuperblockHeap> small_;
+    std::unique_ptr<BigAlloc> big_;
+    PHeapStats initStats_;
+    std::mutex mu_;
+};
+
+} // namespace mnemosyne::heap
+
+#endif // MNEMOSYNE_HEAP_PHEAP_H_

@@ -1,0 +1,271 @@
+#include "heap/superblock_heap.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "scm/scm.h"
+
+namespace mnemosyne::heap {
+
+namespace {
+
+size_t
+alignUp(size_t v, size_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+size_t
+SuperblockHeap::footprint(size_t n_superblocks)
+{
+    return alignUp(sizeof(Header) + n_superblocks * sizeof(SbMeta) +
+                       kRedoLogBytes,
+                   kSuperblockBytes) +
+           n_superblocks * kSuperblockBytes;
+}
+
+size_t
+SuperblockHeap::classIndexFor(size_t size)
+{
+    if (size == 0)
+        size = 1;
+    const size_t rounded = std::bit_ceil(std::max(size, kMinBlock));
+    if (rounded > kMaxBlock)
+        return kNumClasses;
+    return size_t(std::countr_zero(rounded)) -
+           size_t(std::countr_zero(kMinBlock));
+}
+
+SuperblockHeap::SuperblockHeap(Header *hdr, SbMeta *meta, uint8_t *data,
+                               void *log_mem)
+    : hdr_(hdr), meta_(meta), data_(data)
+{
+    nSb_ = size_t(hdr->nSuperblocks);
+    (void)log_mem;
+}
+
+std::unique_ptr<SuperblockHeap>
+SuperblockHeap::create(void *mem, size_t bytes)
+{
+    auto *hdr = static_cast<Header *>(mem);
+    // Solve for the superblock count that fits in @p bytes.
+    size_t n = bytes / kSuperblockBytes;
+    while (n > 0 && footprint(n) > bytes)
+        --n;
+    assert(n > 0 && "heap region too small");
+
+    auto *meta = reinterpret_cast<SbMeta *>(hdr + 1);
+    auto *log_mem = reinterpret_cast<uint8_t *>(meta + n);
+    auto *data = static_cast<uint8_t *>(mem) +
+                 alignUp(sizeof(Header) + n * sizeof(SbMeta) + kRedoLogBytes,
+                         kSuperblockBytes);
+
+    auto &c = scm::ctx();
+    // Fresh regions are zero-filled; just assert the precondition in
+    // debug and persist the header.  (sizeClass 0 == unassigned and an
+    // all-zero bitmap is exactly the empty state.)
+    std::vector<uint8_t> zero(n * sizeof(SbMeta), 0);
+    c.wtstore(meta, zero.data(), zero.size());
+    Header h{kMagic, n, 0, 0};
+    c.wtstore(hdr, &h, sizeof(h));
+    c.fence();
+
+    auto heap = std::unique_ptr<SuperblockHeap>(
+        new SuperblockHeap(hdr, meta, data, log_mem));
+    heap->log_ = log::Rawl::create(log_mem, kRedoLogBytes);
+    heap->redo_ = std::make_unique<log::AtomicRedo>(*heap->log_);
+    heap->scavenge();
+    return heap;
+}
+
+std::unique_ptr<SuperblockHeap>
+SuperblockHeap::open(void *mem)
+{
+    auto *hdr = static_cast<Header *>(mem);
+    if (hdr->magic != kMagic)
+        return nullptr;
+    const size_t n = size_t(hdr->nSuperblocks);
+    auto *meta = reinterpret_cast<SbMeta *>(hdr + 1);
+    auto *log_mem = reinterpret_cast<uint8_t *>(meta + n);
+    auto *data = static_cast<uint8_t *>(mem) +
+                 alignUp(sizeof(Header) + n * sizeof(SbMeta) + kRedoLogBytes,
+                         kSuperblockBytes);
+
+    auto heap = std::unique_ptr<SuperblockHeap>(
+        new SuperblockHeap(hdr, meta, data, log_mem));
+    heap->log_ = log::Rawl::open(log_mem);
+    if (!heap->log_)
+        return nullptr;
+    heap->redo_ = std::make_unique<log::AtomicRedo>(*heap->log_);
+    // Complete any interrupted allocate/free, then rebuild the indexes.
+    heap->redo_->recover();
+    heap->scavenge();
+    return heap;
+}
+
+size_t
+SuperblockHeap::scavenge()
+{
+    index_.assign(nSb_, SbIndex{});
+    for (auto &p : partial_)
+        p.clear();
+    unassigned_.clear();
+
+    for (size_t sb = 0; sb < nSb_; ++sb) {
+        const SbMeta &m = meta_[sb];
+        if (m.sizeClass == 0) {
+            unassigned_.push_back(uint32_t(sb));
+            continue;
+        }
+        const size_t cls = size_t(m.sizeClass) - 1;
+        const size_t blocks = kSuperblockBytes / classBlockSize(cls);
+        size_t used = 0;
+        for (size_t w = 0; w < kBitmapWords; ++w)
+            used += size_t(std::popcount(m.bitmap[w]));
+        index_[sb].classIdx = int8_t(cls);
+        index_[sb].blocks = uint32_t(blocks);
+        index_[sb].freeBlocks = uint32_t(blocks - used);
+        if (used < blocks)
+            partial_[cls].push_back(uint32_t(sb));
+    }
+    return nSb_;
+}
+
+size_t
+SuperblockHeap::sbOf(const void *p) const
+{
+    const auto off = size_t(static_cast<const uint8_t *>(p) - data_);
+    return off / kSuperblockBytes;
+}
+
+bool
+SuperblockHeap::owns(const void *p) const
+{
+    return p >= data_ && p < data_ + nSb_ * kSuperblockBytes;
+}
+
+size_t
+SuperblockHeap::blockSize(const void *p) const
+{
+    const size_t sb = sbOf(p);
+    assert(sb < nSb_ && meta_[sb].sizeClass != 0);
+    return classBlockSize(size_t(meta_[sb].sizeClass) - 1);
+}
+
+void *
+SuperblockHeap::allocate(size_t size, void **pptr)
+{
+    const size_t cls = classIndexFor(size);
+    if (cls >= kNumClasses)
+        return nullptr;
+    const size_t bsz = classBlockSize(cls);
+    const size_t blocks = kSuperblockBytes / bsz;
+
+    // Find a superblock of this class with space, else claim a fresh one.
+    uint32_t sb;
+    bool claim = false;
+    while (true) {
+        if (!partial_[cls].empty()) {
+            sb = partial_[cls].back();
+            if (index_[sb].freeBlocks == 0) {
+                partial_[cls].pop_back();
+                continue;
+            }
+            break;
+        }
+        if (unassigned_.empty())
+            return nullptr; // heap full for this class
+        sb = unassigned_.back();
+        unassigned_.pop_back();
+        claim = true;
+        index_[sb].classIdx = int8_t(cls);
+        index_[sb].blocks = uint32_t(blocks);
+        index_[sb].freeBlocks = uint32_t(blocks);
+        partial_[cls].push_back(sb);
+        break;
+    }
+
+    // Pick the first clear bit.
+    SbMeta &m = meta_[sb];
+    size_t blk = blocks;
+    for (size_t w = 0; w < kBitmapWords && blk == blocks; ++w) {
+        const uint64_t inverted = ~m.bitmap[w];
+        if (inverted == 0)
+            continue;
+        const size_t bit = size_t(std::countr_zero(inverted));
+        if (w * 64 + bit < blocks)
+            blk = w * 64 + bit;
+    }
+    assert(blk < blocks && "index said free but bitmap is full");
+
+    void *block = static_cast<uint8_t *>(sbData(sb)) + blk * bsz;
+
+    // Durably apply: (size-class claim,) bitmap bit, destination pointer.
+    const size_t word = blk / 64;
+    log::WordWrite writes[3];
+    size_t nw = 0;
+    if (claim)
+        writes[nw++] = {&m.sizeClass, uint64_t(cls) + 1};
+    writes[nw++] = {&m.bitmap[word],
+                    m.bitmap[word] | (uint64_t(1) << (blk % 64))};
+    writes[nw++] = {reinterpret_cast<uint64_t *>(pptr),
+                    reinterpret_cast<uint64_t>(block)};
+    redo_->apply({writes, nw});
+
+    index_[sb].freeBlocks--;
+    return block;
+}
+
+void
+SuperblockHeap::free(void **pptr)
+{
+    void *p = *pptr;
+    assert(owns(p));
+    const size_t sb = sbOf(p);
+    SbMeta &m = meta_[sb];
+    assert(m.sizeClass != 0 && "free into unassigned superblock");
+    const size_t cls = size_t(m.sizeClass) - 1;
+    const size_t bsz = classBlockSize(cls);
+    const size_t blk =
+        size_t(static_cast<uint8_t *>(p) -
+               static_cast<uint8_t *>(sbData(sb))) / bsz;
+    const size_t word = blk / 64;
+    assert((m.bitmap[word] >> (blk % 64)) & 1 && "double free");
+
+    const log::WordWrite writes[] = {
+        {&m.bitmap[word], m.bitmap[word] & ~(uint64_t(1) << (blk % 64))},
+        {reinterpret_cast<uint64_t *>(pptr), 0},
+    };
+    redo_->apply(writes);
+
+    if (index_[sb].freeBlocks == 0)
+        partial_[cls].push_back(uint32_t(sb));
+    index_[sb].freeBlocks++;
+    // Note: fully-free superblocks keep their class; reclaiming them to
+    // the unassigned pool would need an extra durable transition and the
+    // paper does not describe one.
+}
+
+SbHeapStats
+SuperblockHeap::stats() const
+{
+    SbHeapStats s;
+    s.superblocks = nSb_;
+    for (size_t sb = 0; sb < nSb_; ++sb) {
+        const SbMeta &m = meta_[sb];
+        if (m.sizeClass == 0)
+            continue;
+        s.superblocks_assigned++;
+        size_t used = 0;
+        for (size_t w = 0; w < kBitmapWords; ++w)
+            used += size_t(std::popcount(m.bitmap[w]));
+        s.blocks_allocated += used;
+        s.bytes_allocated += used * classBlockSize(size_t(m.sizeClass) - 1);
+    }
+    return s;
+}
+
+} // namespace mnemosyne::heap

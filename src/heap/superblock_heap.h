@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Hoard-style persistent superblock allocator (paper section 4.3).
+ *
+ * The heap region is split into fixed-size superblocks (8 KB).  Each
+ * superblock is assigned a block size class and carries a persistent
+ * bitmap vector tracking allocated blocks; allocating memory requires
+ * only one word write to SCM to set a bit in the superblock's vector.
+ * Bitmap vectors are kept in a metadata area separated from the data
+ * blocks to reduce the risk of corruption (following Rio Vista's
+ * protection argument cited by the paper).
+ *
+ * Hoard's indexes, which speed allocation, live in volatile memory and
+ * are regenerated when a program starts (the "scavenge" cost measured
+ * in the reincarnation study, section 6.3.2).
+ *
+ * Atomicity: each allocate/free durably applies its word writes — the
+ * size-class claim, the bitmap word, and the user's persistent pointer
+ * — through an AtomicRedo record, so a crash leaves either the whole
+ * operation or none of it.
+ */
+
+#ifndef MNEMOSYNE_HEAP_SUPERBLOCK_HEAP_H_
+#define MNEMOSYNE_HEAP_SUPERBLOCK_HEAP_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "log/atomic_redo.h"
+#include "log/rawl.h"
+
+namespace mnemosyne::heap {
+
+/** Statistics for introspection and the reincarnation benchmark. */
+struct SbHeapStats {
+    size_t superblocks = 0;
+    size_t superblocks_assigned = 0;
+    size_t blocks_allocated = 0;
+    size_t bytes_allocated = 0;
+};
+
+class SuperblockHeap
+{
+  public:
+    static constexpr size_t kSuperblockBytes = 8192;
+    static constexpr size_t kMinBlock = 16;
+    static constexpr size_t kMaxBlock = 4096;   ///< Half a superblock.
+    static constexpr size_t kNumClasses = 9;    ///< 16 .. 4096, powers of 2.
+    /** Bitmap words per superblock: 8192/16 = 512 blocks max = 8 words. */
+    static constexpr size_t kBitmapWords = 8;
+
+    /** Bytes of persistent memory needed for @p n superblocks, including
+     *  metadata and the embedded redo log. */
+    static size_t footprint(size_t n_superblocks);
+
+    /** Format @p mem as an empty heap. */
+    static std::unique_ptr<SuperblockHeap> create(void *mem, size_t bytes);
+
+    /**
+     * Recover a heap: replay any pending redo record, then scavenge the
+     * persistent bitmaps to rebuild the volatile indexes.
+     */
+    static std::unique_ptr<SuperblockHeap> open(void *mem);
+
+    /**
+     * Allocate a block of at least @p size bytes and durably store its
+     * address into @p pptr (which should live in persistent memory so
+     * the allocation cannot leak across a crash).  Returns the block,
+     * or nullptr if @p size is out of range or the heap is full.
+     */
+    void *allocate(size_t size, void **pptr);
+
+    /** Free the block pointed to by *@p pptr and durably nullify it. */
+    void free(void **pptr);
+
+    /** Does @p p point into this heap's data area? */
+    bool owns(const void *p) const;
+
+    /** Usable size of the block containing @p p. */
+    size_t blockSize(const void *p) const;
+
+    SbHeapStats stats() const;
+
+    /** Rebuild the volatile indexes from the persistent bitmaps;
+     *  returns the number of superblocks scanned (timed by the
+     *  reincarnation benchmark). */
+    size_t scavenge();
+
+  private:
+    struct Header {
+        uint64_t magic;
+        uint64_t nSuperblocks;
+        uint64_t reserved0;
+        uint64_t reserved1;
+    };
+
+    /** Persistent per-superblock metadata, separated from the data. */
+    struct SbMeta {
+        uint64_t sizeClass;             ///< 0 = unassigned, else log2 size.
+        uint64_t bitmap[kBitmapWords];  ///< 1 = block allocated.
+    };
+
+    /** Volatile per-superblock index. */
+    struct SbIndex {
+        uint32_t freeBlocks = 0;
+        uint32_t blocks = 0;
+        int8_t classIdx = -1;
+    };
+
+    static constexpr uint64_t kMagic = 0x4d4e534248454150ULL; // "MNSBHEAP"
+    static constexpr size_t kRedoLogBytes = 16384;
+
+    SuperblockHeap(Header *hdr, SbMeta *meta, uint8_t *data, void *log_mem);
+
+    static size_t classIndexFor(size_t size);
+    static size_t classBlockSize(size_t idx) { return kMinBlock << idx; }
+
+    void *sbData(size_t sb) const { return data_ + sb * kSuperblockBytes; }
+    size_t sbOf(const void *p) const;
+
+    Header *hdr_;
+    SbMeta *meta_;
+    uint8_t *data_;
+    size_t nSb_ = 0;
+
+    std::unique_ptr<log::Rawl> log_;
+    std::unique_ptr<log::AtomicRedo> redo_;
+
+    // Volatile indexes (rebuilt by scavenge()).
+    std::vector<SbIndex> index_;
+    std::array<std::vector<uint32_t>, kNumClasses> partial_; ///< sbs w/ space
+    std::vector<uint32_t> unassigned_;
+};
+
+} // namespace mnemosyne::heap
+
+#endif // MNEMOSYNE_HEAP_SUPERBLOCK_HEAP_H_

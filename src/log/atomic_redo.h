@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Atomic multi-word updates via RAWL redo logging.
+ *
+ * The persistent heap makes its operations atomic "by logging the write
+ * to the bitmap vector and the destination/source pointer" (paper,
+ * section 4.3).  AtomicRedo generalizes that: a small set of word-sized
+ * writes is appended to a RAWL as a redo record and flushed (one fence,
+ * thanks to the tornbit), then applied in place and flushed, then the
+ * log is truncated.  Recovery replays any record left in the log —
+ * replaying is idempotent, so a crash at any point yields either none
+ * or all of the writes.
+ */
+
+#ifndef MNEMOSYNE_LOG_ATOMIC_REDO_H_
+#define MNEMOSYNE_LOG_ATOMIC_REDO_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "log/rawl.h"
+
+namespace mnemosyne::log {
+
+/** One word-sized write: *addr = val. */
+struct WordWrite {
+    uint64_t *addr;
+    uint64_t val;
+};
+
+class AtomicRedo
+{
+  public:
+    /** Uses @p log for redo records; the log must be private to this
+     *  AtomicRedo (its records are truncated after each operation). */
+    explicit AtomicRedo(Rawl &log) : log_(log) {}
+
+    /**
+     * Durably apply all of @p writes, atomically with respect to
+     * crashes: after recovery, either every write is visible or none.
+     */
+    void apply(std::span<const WordWrite> writes);
+
+    /**
+     * Recovery: replay any complete record in the log, then truncate.
+     * Returns the number of records replayed.
+     */
+    size_t recover();
+
+  private:
+    Rawl &log_;
+    std::vector<uint64_t> scratch_;
+};
+
+} // namespace mnemosyne::log
+
+#endif // MNEMOSYNE_LOG_ATOMIC_REDO_H_

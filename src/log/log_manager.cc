@@ -1,0 +1,136 @@
+#include "log/log_manager.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "scm/scm.h"
+
+namespace mnemosyne::log {
+
+namespace {
+
+size_t
+alignUp(size_t v, size_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+size_t
+LogManager::footprint(size_t nslots, size_t slot_bytes)
+{
+    return alignUp(sizeof(Header) + nslots * sizeof(SlotState), 64) +
+           nslots * slot_bytes;
+}
+
+LogManager::LogManager(Header *hdr, SlotState *states, uint8_t *slots_base)
+    : hdr_(hdr), states_(states), slotsBase_(slots_base)
+{
+    logs_.resize(size_t(hdr_->nslots));
+}
+
+std::unique_ptr<LogManager>
+LogManager::create(void *mem, size_t bytes, size_t nslots, size_t slot_bytes)
+{
+    assert(bytes >= footprint(nslots, slot_bytes));
+    (void)bytes;
+    auto *hdr = static_cast<Header *>(mem);
+    auto *states = reinterpret_cast<SlotState *>(hdr + 1);
+    auto *base = static_cast<uint8_t *>(mem) +
+                 alignUp(sizeof(Header) + nslots * sizeof(SlotState), 64);
+
+    auto &c = scm::ctx();
+    std::vector<SlotState> zero(nslots, SlotState{0, 0});
+    c.wtstore(states, zero.data(), nslots * sizeof(SlotState));
+    Header h{kMagic, nslots, slot_bytes, 0};
+    c.wtstore(hdr, &h, sizeof(h));
+    c.fence();
+    return std::unique_ptr<LogManager>(new LogManager(hdr, states, base));
+}
+
+std::unique_ptr<LogManager>
+LogManager::open(void *mem)
+{
+    auto *hdr = static_cast<Header *>(mem);
+    if (hdr->magic != kMagic)
+        return nullptr;
+    auto *states = reinterpret_cast<SlotState *>(hdr + 1);
+    auto *base = static_cast<uint8_t *>(mem) +
+                 alignUp(sizeof(Header) + size_t(hdr->nslots) *
+                         sizeof(SlotState), 64);
+    auto lm = std::unique_ptr<LogManager>(new LogManager(hdr, states, base));
+    for (size_t i = 0; i < lm->nslots(); ++i) {
+        if (states[i].active) {
+            auto log = Rawl::open(lm->slotMem(i));
+            // A slot marked active whose log was never formatted (crash
+            // between the slot flag and the log header) is reclaimed.
+            if (log) {
+                lm->logs_[i] = std::move(log);
+            } else {
+                scm::ctx().wtstoreT(&states[i].active, uint64_t(0));
+                scm::ctx().fence();
+            }
+        }
+    }
+    return lm;
+}
+
+Rawl *
+LogManager::acquire(uint64_t owner_hint)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    for (size_t i = 0; i < nslots(); ++i) {
+        if (states_[i].active || logs_[i])
+            continue;
+        // Format the log first, then durably flip the slot flag: a crash
+        // in between leaves an inactive, formatted slot — harmless.
+        logs_[i] = Rawl::create(slotMem(i), slotBytes());
+        auto &c = scm::ctx();
+        c.wtstoreT(&states_[i].ownerHint, owner_hint);
+        c.wtstoreT(&states_[i].active, uint64_t(1));
+        c.fence();
+        return logs_[i].get();
+    }
+    throw std::runtime_error("LogManager: out of log slots");
+}
+
+void
+LogManager::release(Rawl *log)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    for (size_t i = 0; i < nslots(); ++i) {
+        if (logs_[i].get() != log)
+            continue;
+        log->truncateAll();
+        auto &c = scm::ctx();
+        c.wtstoreT(&states_[i].active, uint64_t(0));
+        c.fence();
+        logs_[i].reset();
+        return;
+    }
+    assert(false && "release of unknown log");
+}
+
+void
+LogManager::forEachActive(
+    const std::function<void(size_t, Rawl &)> &fn)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    for (size_t i = 0; i < nslots(); ++i) {
+        if (logs_[i])
+            fn(i, *logs_[i]);
+    }
+}
+
+size_t
+LogManager::activeCount() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    size_t n = 0;
+    for (const auto &l : logs_)
+        n += (l != nullptr);
+    return n;
+}
+
+} // namespace mnemosyne::log

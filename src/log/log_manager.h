@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Log manager: a persistent registry of per-thread RAWLs.
+ *
+ * Mnemosyne keeps a per-thread redo log for multiprocessor scalability
+ * (paper, section 5).  The log manager partitions one persistent area
+ * into fixed-size slots, durably tracks which slots hold live logs, and
+ * re-opens all live logs during recovery so completed transactions can
+ * be replayed.
+ */
+
+#ifndef MNEMOSYNE_LOG_LOG_MANAGER_H_
+#define MNEMOSYNE_LOG_LOG_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "log/rawl.h"
+
+namespace mnemosyne::log {
+
+class LogManager
+{
+  public:
+    struct Header {
+        uint64_t magic;
+        uint64_t nslots;
+        uint64_t slotBytes;
+        uint64_t reserved;
+    };
+
+    /** Durable per-slot state. */
+    struct SlotState {
+        uint64_t active;    ///< 0 = free, 1 = holds a live log.
+        uint64_t ownerHint; ///< Informational (thread ordinal at acquire).
+    };
+
+    static constexpr uint64_t kMagic = 0x4d4e4c4f474d4752ULL;
+
+    static size_t footprint(size_t nslots, size_t slot_bytes);
+
+    static std::unique_ptr<LogManager> create(void *mem, size_t bytes,
+                                              size_t nslots,
+                                              size_t slot_bytes);
+
+    /** Recover: re-open every active slot's log (torn-bit scan inside). */
+    static std::unique_ptr<LogManager> open(void *mem);
+
+    /** Durably claim a free slot and return its (fresh) log. */
+    Rawl *acquire(uint64_t owner_hint = 0);
+
+    /** Truncate and durably release a slot's log. */
+    void release(Rawl *log);
+
+    /** Visit every live log (used by recovery and async truncation). */
+    void forEachActive(const std::function<void(size_t slot, Rawl &)> &fn);
+
+    size_t nslots() const { return size_t(hdr_->nslots); }
+    size_t slotBytes() const { return size_t(hdr_->slotBytes); }
+    size_t activeCount() const;
+
+  private:
+    LogManager(Header *hdr, SlotState *states, uint8_t *slots_base);
+
+    void *slotMem(size_t i) const { return slotsBase_ + i * hdr_->slotBytes; }
+
+    Header *hdr_;
+    SlotState *states_;
+    uint8_t *slotsBase_;
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Rawl>> logs_;  ///< Indexed by slot; null if free.
+};
+
+} // namespace mnemosyne::log
+
+#endif // MNEMOSYNE_LOG_LOG_MANAGER_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The global versioned-lock array used for encounter-time locking
+ * (paper section 5).
+ *
+ * "For encounter-time locking, we use a global array of volatile locks,
+ * with each lock covering a portion of the address space."  Each slot is
+ * one 64-bit word: bit 0 set means locked (the upper bits then hold the
+ * owner's transaction id); bit 0 clear means unlocked (the upper bits
+ * hold the version — the commit timestamp of the last transaction that
+ * wrote any address covered by the slot).
+ */
+
+#ifndef MNEMOSYNE_MTM_LOCK_TABLE_H_
+#define MNEMOSYNE_MTM_LOCK_TABLE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mnemosyne::mtm {
+
+class LockTable
+{
+  public:
+    using Word = std::atomic<uint64_t>;
+
+    explicit LockTable(size_t bits = 20) : mask_((size_t(1) << bits) - 1),
+                                           locks_(size_t(1) << bits)
+    {
+        for (auto &l : locks_)
+            l.store(0, std::memory_order_relaxed);
+    }
+
+    /** The lock covering @p addr (8-byte stripes, hashed). */
+    Word &
+    lockFor(const void *addr)
+    {
+        const auto a = reinterpret_cast<uintptr_t>(addr) >> 3;
+        // Multiplicative hash spreads adjacent stripes across the array.
+        return locks_[(a * 0x9e3779b97f4a7c15ULL >> 20) & mask_];
+    }
+
+    static bool isLocked(uint64_t v) { return v & 1; }
+    static uint64_t owner(uint64_t v) { return v >> 1; }
+    static uint64_t version(uint64_t v) { return v >> 1; }
+    static uint64_t makeLocked(uint64_t owner) { return (owner << 1) | 1; }
+    static uint64_t makeVersion(uint64_t ts) { return ts << 1; }
+
+    size_t size() const { return locks_.size(); }
+
+  private:
+    size_t mask_;
+    std::vector<Word> locks_;
+};
+
+} // namespace mnemosyne::mtm
+
+#endif // MNEMOSYNE_MTM_LOCK_TABLE_H_

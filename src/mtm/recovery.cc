@@ -1,0 +1,70 @@
+#include "mtm/recovery.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mtm/txn.h"
+#include "scm/scm.h"
+
+namespace mnemosyne::mtm {
+
+namespace {
+
+struct ReplayTxn {
+    uint64_t ts;
+    std::vector<std::pair<uint64_t, uint64_t>> writes; // (addr, val)
+};
+
+} // namespace
+
+RecoveryResult
+recoverTransactions(log::LogManager &logs)
+{
+    RecoveryResult res;
+    std::vector<ReplayTxn> committed;
+
+    logs.forEachActive([&](size_t, log::Rawl &log) {
+        auto cur = log.begin();
+        std::vector<uint64_t> rec;
+        std::vector<std::pair<uint64_t, uint64_t>> pending;
+        while (log.readRecord(cur, rec)) {
+            if (rec.empty())
+                continue;
+            if (rec[0] == kTagCommit && rec.size() >= 2) {
+                committed.push_back(ReplayTxn{rec[1], std::move(pending)});
+                pending.clear();
+            } else if (rec[0] == kTagAbort) {
+                res.aborted_discarded++;
+                pending.clear();
+            } else {
+                // A batched write record: (addr, val) pairs.
+                for (size_t i = 0; i + 1 < rec.size(); i += 2)
+                    pending.emplace_back(rec[i], rec[i + 1]);
+            }
+        }
+        if (!pending.empty())
+            res.torn_discarded++;
+    });
+
+    // Replay in counter order so later transactions' values win.
+    std::sort(committed.begin(), committed.end(),
+              [](const ReplayTxn &a, const ReplayTxn &b) {
+                  return a.ts < b.ts;
+              });
+
+    auto &c = scm::ctx();
+    for (const auto &txn : committed) {
+        for (const auto &[addr, val] : txn.writes) {
+            uint64_t v = val;
+            c.wtstore(reinterpret_cast<void *>(addr), &v, sizeof(v));
+        }
+        res.max_ts = std::max(res.max_ts, txn.ts);
+    }
+    c.fence();
+    res.committed_replayed = committed.size();
+
+    logs.forEachActive([&](size_t, log::Rawl &log) { log.truncateAll(); });
+    return res;
+}
+
+} // namespace mnemosyne::mtm

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Transaction-log recovery (paper section 5).
+ *
+ * "When a program starts, Mnemosyne replays all completed transactions
+ * by writing the data at the logged address.  ...  During recovery,
+ * transactions from different threads are replayed in counter order."
+ */
+
+#ifndef MNEMOSYNE_MTM_RECOVERY_H_
+#define MNEMOSYNE_MTM_RECOVERY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "log/log_manager.h"
+
+namespace mnemosyne::mtm {
+
+struct RecoveryResult {
+    size_t committed_replayed = 0;  ///< Completed txns redone.
+    size_t aborted_discarded = 0;   ///< Explicitly aborted txns skipped.
+    size_t torn_discarded = 0;      ///< Unterminated trailing entries.
+    uint64_t max_ts = 0;            ///< Highest commit timestamp seen.
+};
+
+/**
+ * Scan every active per-thread log of @p logs, gather completed
+ * transactions, replay their writes in global timestamp order, force
+ * them to SCM, and truncate all logs.
+ */
+RecoveryResult recoverTransactions(log::LogManager &logs);
+
+} // namespace mnemosyne::mtm
+
+#endif // MNEMOSYNE_MTM_RECOVERY_H_

@@ -1,0 +1,121 @@
+#include "mtm/truncation.h"
+
+#include "scm/scm.h"
+
+namespace mnemosyne::mtm {
+
+TruncationThread::TruncationThread() : worker_([this] { run(); })
+{
+}
+
+TruncationThread::~TruncationThread()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+}
+
+void
+TruncationThread::enqueue(Task task)
+{
+    size_t backlog;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        queue_.push_back(std::move(task));
+        backlog = queue_.size();
+    }
+    // Do not wake the worker for every commit: on few-core hosts an
+    // eager notify preempts the committing thread and puts the flush
+    // right back on its critical path.  The worker polls on a short
+    // timer and drains during the application's idle periods; only a
+    // large backlog (log-space pressure) forces a wakeup.
+    if (backlog >= kEagerWakeBacklog)
+        cv_.notify_one();
+}
+
+void
+TruncationThread::drain()
+{
+    std::unique_lock<std::mutex> g(mu_);
+    idleCv_.wait(g, [this] {
+        return paused_ || (queue_.empty() && !busy_);
+    });
+}
+
+void
+TruncationThread::pause()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    paused_ = true;
+    cv_.notify_all();
+    idleCv_.notify_all();
+}
+
+void
+TruncationThread::resume()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+size_t
+TruncationThread::backlog() const
+{
+    std::lock_guard<std::mutex> g(const_cast<std::mutex &>(mu_));
+    return queue_.size();
+}
+
+void
+TruncationThread::run()
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> g(mu_);
+            cv_.wait_for(g, std::chrono::microseconds(100), [this] {
+                return stop_ || (!paused_ && !queue_.empty());
+            });
+            if (!stop_ && (paused_ || queue_.empty()))
+                continue;
+            if (stop_ && (queue_.empty() || paused_))
+                return;
+            if (paused_ || queue_.empty())
+                continue;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+
+        // Force the committed values out to SCM, then release the log
+        // space.  The order matters: the redo record may only disappear
+        // once the in-place data is durable.
+        try {
+            auto &c = scm::ctx();
+            for (uintptr_t line : task.lines)
+                c.flush(reinterpret_cast<const void *>(line));
+            c.fence();
+            task.log->consumeTo(log::Rawl::Cursor{task.consumeTo},
+                                /*do_fence=*/false);
+        } catch (const scm::CrashNow &) {
+            // A crash-injection hook fired on this thread: the machine
+            // is "dying"; stop touching SCM and let the test's crash()
+            // + recovery take over.
+        }
+
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            busy_ = false;
+            ++processed_;
+            if (queue_.empty())
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace mnemosyne::mtm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Asynchronous log truncation (paper section 5).
+ *
+ * "Asynchronous truncation retains the log after transaction commit, so
+ * the latency of committing is shorter.  A separate log manager thread
+ * consumes the log and forces values out to memory before truncating
+ * the log."
+ */
+
+#ifndef MNEMOSYNE_MTM_TRUNCATION_H_
+#define MNEMOSYNE_MTM_TRUNCATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "log/rawl.h"
+
+namespace mnemosyne::mtm {
+
+class TruncationThread
+{
+  public:
+    /** One committed transaction's deferred flush work. */
+    struct Task {
+        log::Rawl *log;
+        uint64_t consumeTo;                 ///< Log position after the txn.
+        std::vector<uintptr_t> lines;       ///< Distinct cache lines to force.
+    };
+
+    TruncationThread();
+    ~TruncationThread();
+
+    void enqueue(Task task);
+
+    /** Block until every enqueued task has been processed. */
+    void drain();
+
+    /** Suspend/resume processing (deterministic crash tests and the
+     *  idle-duty-cycle study of Figure 6 use this). */
+    void pause();
+    void resume();
+
+    uint64_t processed() const { return processed_; }
+    size_t backlog() const;
+
+  private:
+    /** Backlog that forces an eager worker wakeup (log-space pressure). */
+    static constexpr size_t kEagerWakeBacklog = 48;
+
+    void run();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::deque<Task> queue_;
+    bool stop_ = false;
+    bool busy_ = false;
+    bool paused_ = false;
+    uint64_t processed_ = 0;
+    std::thread worker_;
+};
+
+} // namespace mnemosyne::mtm
+
+#endif // MNEMOSYNE_MTM_TRUNCATION_H_

@@ -1,0 +1,322 @@
+#include "mtm/txn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "mtm/truncation.h"
+#include "mtm/txn_manager.h"
+#include "scm/scm.h"
+
+namespace mnemosyne::mtm {
+
+void
+Txn::begin(uint64_t id, log::Rawl *log)
+{
+    id_ = id;
+    log_ = log;
+    startTs_ = mgr_.clock_.load(std::memory_order_acquire);
+    depth_ = 1;
+    active_ = true;
+}
+
+void
+Txn::reset()
+{
+    writeWords_.clear();
+    readSet_.clear();
+    lockPrev_.clear();
+    abortHooks_.clear();
+    commitHooks_.clear();
+    depth_ = 0;
+    active_ = false;
+}
+
+void
+Txn::rollback()
+{
+    // Release every lock, restoring its pre-acquisition version, discard
+    // buffered updates, and mark the transaction aborted in the log so
+    // recovery never replays its entries (paper section 5).
+    for (auto &[lock, prev] : lockPrev_)
+        lock->store(prev, std::memory_order_release);
+    if (log_ && !writeWords_.empty()) {
+        logScratch_[0] = kTagAbort;
+        log_->append(logScratch_, 1);
+    }
+    for (auto it = abortHooks_.rbegin(); it != abortHooks_.rend(); ++it)
+        (*it)();
+    reset();
+    mgr_.nAborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Txn::abort(const char *why)
+{
+    rollback();
+    throw TxnConflict{why};
+}
+
+void
+Txn::extend()
+{
+    // Lazy snapshot extension: the snapshot can move forward to `now` if
+    // every read so far is still valid at its recorded version.
+    const uint64_t now = mgr_.clock_.load(std::memory_order_acquire);
+    for (const auto &[lock, seen] : readSet_) {
+        const uint64_t cur = lock->load(std::memory_order_acquire);
+        if (cur == seen)
+            continue;
+        if (LockTable::isLocked(cur) && LockTable::owner(cur) == id_) {
+            auto it = lockPrev_.find(lock);
+            if (it != lockPrev_.end() && it->second == seen)
+                continue;
+        }
+        abort("snapshot extension failed");
+    }
+    startTs_ = now;
+}
+
+void
+Txn::validateOrAbort(const char *why)
+{
+    for (const auto &[lock, seen] : readSet_) {
+        const uint64_t cur = lock->load(std::memory_order_acquire);
+        if (cur == seen)
+            continue;
+        if (LockTable::isLocked(cur) && LockTable::owner(cur) == id_) {
+            auto it = lockPrev_.find(lock);
+            if (it != lockPrev_.end() && it->second == seen)
+                continue;
+        }
+        abort(why);
+    }
+}
+
+void
+Txn::acquire(LockTable::Word &lock)
+{
+    uint64_t cur = lock.load(std::memory_order_acquire);
+    for (;;) {
+        if (LockTable::isLocked(cur)) {
+            if (LockTable::owner(cur) == id_)
+                return; // already mine
+            // Eager conflict detection: the encounter-time policy aborts
+            // the requester; the atomic() wrapper backs off and retries.
+            abort("write-write conflict");
+        }
+        if (lock.compare_exchange_weak(cur, LockTable::makeLocked(id_),
+                                       std::memory_order_acq_rel)) {
+            lockPrev_.emplace(&lock, cur);
+            return;
+        }
+    }
+}
+
+uint64_t
+Txn::readWord(uintptr_t word_addr)
+{
+    auto wit = writeWords_.find(word_addr);
+    if (wit != writeWords_.end())
+        return wit->second;
+
+    auto &lock = mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr));
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        const uint64_t v1 = lock.load(std::memory_order_acquire);
+        if (LockTable::isLocked(v1)) {
+            if (LockTable::owner(v1) == id_) {
+                // I hold the stripe lock (a different word hashed here):
+                // memory is stable under my lock.
+                return *reinterpret_cast<const uint64_t *>(word_addr);
+            }
+            abort("read-write conflict");
+        }
+        const uint64_t val = *reinterpret_cast<const uint64_t *>(word_addr);
+        const uint64_t v2 = lock.load(std::memory_order_acquire);
+        if (v1 != v2)
+            continue; // concurrent writer slipped in; retry the read
+        if (LockTable::version(v1) > startTs_)
+            extend();
+        readSet_.emplace_back(&lock, v1);
+        return val;
+    }
+    abort("unstable read");
+    __builtin_unreachable();
+}
+
+void
+Txn::bufferWord(uintptr_t word_addr, uint64_t val)
+{
+    auto &lock = mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr));
+    acquire(lock);
+    writeWords_[word_addr] = val;
+
+    // Write-ahead redo logging: address/value pairs are streamed into
+    // the per-thread persistent log during the transaction; only writes
+    // to persistent memory are logged (quick range check, section 5).
+    if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(word_addr))) {
+        logBatch_.push_back(word_addr);
+        logBatch_.push_back(val);
+    }
+}
+
+void
+Txn::writeWord(uintptr_t word_addr, uint64_t val)
+{
+    logBatch_.clear();
+    bufferWord(word_addr, val);
+    if (!logBatch_.empty())
+        log_->append(logBatch_.data(), logBatch_.size());
+}
+
+void
+Txn::write(void *addr, const void *src, size_t len)
+{
+    assert(active_);
+    const auto *bytes = static_cast<const uint8_t *>(src);
+    uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    size_t remaining = len;
+    logBatch_.clear();
+    while (remaining > 0) {
+        const uintptr_t word = a & ~uintptr_t(7);
+        const size_t off = a - word;
+        const size_t n = std::min(remaining, 8 - off);
+        uint64_t cur;
+        if (n == 8) {
+            std::memcpy(&cur, bytes, 8);
+        } else {
+            // Sub-word store: merge into the current word value.  The
+            // lock is taken first so the in-memory read is stable.
+            acquire(mgr_.locks_.lockFor(reinterpret_cast<void *>(word)));
+            auto it = writeWords_.find(word);
+            cur = (it != writeWords_.end())
+                      ? it->second
+                      : *reinterpret_cast<const uint64_t *>(word);
+            std::memcpy(reinterpret_cast<uint8_t *>(&cur) + off, bytes, n);
+        }
+        bufferWord(word, cur);
+        a += n;
+        bytes += n;
+        remaining -= n;
+    }
+    // One log record for the whole multi-word store (the streamed
+    // appends of one instrumented memcpy).
+    if (!logBatch_.empty())
+        log_->append(logBatch_.data(), logBatch_.size());
+}
+
+void
+Txn::read(void *dst, const void *addr, size_t len)
+{
+    assert(active_);
+    auto *out = static_cast<uint8_t *>(dst);
+    uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+    size_t remaining = len;
+    while (remaining > 0) {
+        const uintptr_t word = a & ~uintptr_t(7);
+        const size_t off = a - word;
+        const size_t n = std::min(remaining, 8 - off);
+        const uint64_t val = readWord(word);
+        std::memcpy(out, reinterpret_cast<const uint8_t *>(&val) + off, n);
+        a += n;
+        out += n;
+        remaining -= n;
+    }
+}
+
+void
+Txn::commit()
+{
+    assert(active_ && depth_ == 1);
+    auto &c = scm::ctx();
+
+    if (writeWords_.empty()) {
+        // Read-only transactions are consistent by construction of the
+        // incremental validation; nothing to persist.
+        for (auto &h : commitHooks_)
+            h();
+        reset();
+        mgr_.nReadonly_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    // Total order over transactions: the global timestamp counter,
+    // stored with the commit record for replay ordering (section 5).
+    // The timestamp is taken BEFORE validation so that any conflicting
+    // writer serializes strictly before or after this transaction.
+    const uint64_t ts =
+        mgr_.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (startTs_ != ts - 1)
+        validateOrAbort("commit validation failed");
+
+    std::vector<std::pair<uintptr_t, uint64_t>> sorted(writeWords_.begin(),
+                                                       writeWords_.end());
+    std::sort(sorted.begin(), sorted.end());
+    bool logged = false;
+    std::vector<uintptr_t> lines;
+    for (const auto &[word, val] : sorted) {
+        (void)val;
+        if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(word))) {
+            logged = true;
+            const uintptr_t line = word & ~uintptr_t(63);
+            if (lines.empty() || lines.back() != line)
+                lines.push_back(line);
+        }
+    }
+
+    if (logged) {
+        // Durability point: one fence thanks to the tornbit RAWL.
+        logScratch_[0] = kTagCommit;
+        logScratch_[1] = ts;
+        log_->append(logScratch_, 2);
+        log_->flush();
+    }
+
+    // Write back the new values in place (lazy version management),
+    // coalescing contiguous words into single cached stores.
+    std::vector<uint64_t> run;
+    for (size_t i = 0; i < sorted.size();) {
+        const uintptr_t start = sorted[i].first;
+        run.clear();
+        run.push_back(sorted[i].second);
+        size_t j = i + 1;
+        while (j < sorted.size() &&
+               sorted[j].first == sorted[j - 1].first + 8) {
+            run.push_back(sorted[j].second);
+            ++j;
+        }
+        c.store(reinterpret_cast<void *>(start), run.data(),
+                run.size() * sizeof(uint64_t));
+        i = j;
+    }
+
+    // Release the locks at the commit timestamp.
+    for (auto &[lock, prev] : lockPrev_) {
+        (void)prev;
+        lock->store(LockTable::makeVersion(ts), std::memory_order_release);
+    }
+
+    if (logged) {
+        if (mgr_.cfg_.truncation == Truncation::kSync) {
+            // Synchronous truncation: force new values to memory during
+            // commit, then drop the whole per-thread log.  The head
+            // advance is ordered after this fence and rides the next
+            // one (losing it only means an idempotent replay).
+            for (uintptr_t line : lines)
+                c.flush(reinterpret_cast<const void *>(line));
+            c.fence();
+            log_->consumeTo(log::Rawl::Cursor{log_->tailAbs()},
+                            /*do_fence=*/false);
+        } else {
+            mgr_.truncator_->enqueue(TruncationThread::Task{
+                log_, log_->tailAbs(), std::move(lines)});
+        }
+    }
+
+    for (auto &h : commitHooks_)
+        h();
+    reset();
+    mgr_.nCommits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace mnemosyne::mtm

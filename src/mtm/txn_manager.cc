@@ -1,0 +1,183 @@
+#include "mtm/txn_manager.h"
+
+#include <cassert>
+#include <random>
+#include <thread>
+
+#include "mtm/recovery.h"
+#include "mtm/truncation.h"
+#include "scm/scm.h"
+
+namespace mnemosyne::mtm {
+
+namespace {
+
+uint64_t
+nextMgrId()
+{
+    static std::atomic<uint64_t> gen{0};
+    return gen.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
+    : rl_(rl), cfg_(cfg), locks_(cfg.lock_bits), mgrId_(nextMgrId())
+{
+    const size_t need =
+        log::LogManager::footprint(cfg_.log_slots, cfg_.log_slot_bytes);
+    auto log_region = rl.findByFlags(region::kRegionLog);
+    if (log_region.addr == nullptr) {
+        void *mem = rl.pmap(nullptr, need, region::kRegionLog);
+        logs_ = log::LogManager::create(mem, need, cfg_.log_slots,
+                                        cfg_.log_slot_bytes);
+    } else {
+        logs_ = log::LogManager::open(log_region.addr);
+        if (!logs_)
+            throw std::runtime_error("TxnManager: corrupt log region");
+        // Replay all completed but not flushed transactions (the
+        // reincarnation step of section 6.3.2).
+        const auto res = recoverTransactions(*logs_);
+        nReplayed_ = res.committed_replayed;
+        clock_.store(res.max_ts, std::memory_order_release);
+        // The previous run's (now empty) logs are released so slots do
+        // not leak across restarts.
+        std::vector<log::Rawl *> stale;
+        logs_->forEachActive(
+            [&](size_t, log::Rawl &log) { stale.push_back(&log); });
+        for (auto *log : stale)
+            logs_->release(log);
+    }
+    truncator_ = std::make_unique<TruncationThread>();
+}
+
+TxnManager::~TxnManager()
+{
+    if (truncator_)
+        truncator_->drain();
+}
+
+log::Rawl *
+TxnManager::threadLog()
+{
+    thread_local uint64_t cached_mgr = 0;
+    thread_local log::Rawl *cached_log = nullptr;
+    if (cached_mgr == mgrId_ && cached_log)
+        return cached_log;
+    static std::atomic<uint64_t> ordinal{0};
+    cached_log = logs_->acquire(ordinal.fetch_add(1) + 1);
+    cached_mgr = mgrId_;
+    return cached_log;
+}
+
+namespace {
+
+/** Per-thread transaction descriptors, one per manager instance. */
+std::unordered_map<uint64_t, std::unique_ptr<Txn>> &
+threadSlots()
+{
+    thread_local std::unordered_map<uint64_t, std::unique_ptr<Txn>> slots;
+    return slots;
+}
+
+} // namespace
+
+Txn &
+TxnManager::begin()
+{
+    auto &slot = threadSlots()[mgrId_];
+    if (!slot)
+        slot = std::unique_ptr<Txn>(new Txn(*this));
+    Txn &tx = *slot;
+    if (tx.active_) {
+        ++tx.depth_; // flat nesting
+        return tx;
+    }
+    tx.begin(nextTxnId_.fetch_add(1, std::memory_order_relaxed),
+             threadLog());
+    return tx;
+}
+
+Txn *
+TxnManager::current()
+{
+    auto it = threadSlots().find(mgrId_);
+    if (it == threadSlots().end() || !it->second->active_)
+        return nullptr;
+    return it->second.get();
+}
+
+void
+TxnManager::commit(Txn &tx)
+{
+    assert(tx.active_);
+    if (tx.depth_ > 1) {
+        --tx.depth_;
+        return;
+    }
+    tx.commit();
+}
+
+void
+TxnManager::backoff(int attempt)
+{
+    // Randomized exponential backoff after a conflict abort.
+    thread_local std::mt19937_64 rng{std::random_device{}()};
+    const uint64_t cap =
+        std::min<uint64_t>(cfg_.max_backoff_us, 1ULL << std::min(attempt, 12));
+    if (cap == 0)
+        return;
+    const uint64_t us = rng() % (cap + 1);
+    if (us == 0) {
+        std::this_thread::yield();
+    } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+}
+
+void
+TxnManager::setTruncation(Truncation t)
+{
+    drainTruncation();
+    cfg_.truncation = t;
+}
+
+void
+TxnManager::drainTruncation()
+{
+    if (truncator_)
+        truncator_->drain();
+}
+
+void
+TxnManager::pauseTruncation()
+{
+    if (truncator_)
+        truncator_->pause();
+}
+
+void
+TxnManager::resumeTruncation()
+{
+    if (truncator_)
+        truncator_->resume();
+}
+
+size_t
+TxnManager::truncationBacklog() const
+{
+    return truncator_ ? truncator_->backlog() : 0;
+}
+
+TxnStats
+TxnManager::stats() const
+{
+    TxnStats s;
+    s.commits = nCommits_.load(std::memory_order_relaxed);
+    s.aborts = nAborts_.load(std::memory_order_relaxed);
+    s.readonly_commits = nReadonly_.load(std::memory_order_relaxed);
+    s.replayed_txns = nReplayed_;
+    return s;
+}
+
+} // namespace mnemosyne::mtm

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The transaction manager: global clock, lock table, per-thread logs,
+ * truncation policy, and recovery (paper section 5).
+ */
+
+#ifndef MNEMOSYNE_MTM_TXN_MANAGER_H_
+#define MNEMOSYNE_MTM_TXN_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "log/log_manager.h"
+#include "mtm/lock_table.h"
+#include "mtm/txn.h"
+#include "region/region_table.h"
+
+namespace mnemosyne::mtm {
+
+class TruncationThread;
+
+/** When modified data is forced to SCM and the log truncated. */
+enum class Truncation {
+    kSync,      ///< At commit: flush every written line, fence, truncate.
+    kAsync,     ///< By the log-manager thread, off the critical path.
+};
+
+struct TxnConfig {
+    Truncation truncation = Truncation::kSync;
+    size_t log_slots = 16;          ///< Max threads with live logs.
+    size_t log_slot_bytes = 1 << 20;
+    size_t lock_bits = 20;
+    size_t max_backoff_us = 50;
+};
+
+struct TxnStats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t readonly_commits = 0;
+    uint64_t replayed_txns = 0;     ///< Completed txns redone at recovery.
+};
+
+class TxnManager
+{
+  public:
+    /**
+     * Create the transaction system over @p rl's log region (created on
+     * first run), replaying any completed-but-not-flushed transactions
+     * left in the per-thread logs by a crash.
+     */
+    TxnManager(region::RegionLayer &rl, TxnConfig cfg = {});
+    ~TxnManager();
+
+    TxnManager(const TxnManager &) = delete;
+    TxnManager &operator=(const TxnManager &) = delete;
+
+    /**
+     * Run @p fn inside a durable memory transaction — the `atomic { }`
+     * construct.  @p fn receives the transaction and must perform all
+     * persistent accesses through its read/write barriers; it may be
+     * re-executed on conflict.  Nested atomic blocks flatten into the
+     * outermost one; a conflict restarts the whole flat transaction.
+     */
+    template <typename Fn>
+    void
+    atomic(Fn &&fn)
+    {
+        for (int attempt = 0;; ++attempt) {
+            Txn &tx = begin();
+            const bool outer = (tx.depth_ == 1);
+            try {
+                fn(tx);
+                commit(tx);
+                return;
+            } catch (const TxnConflict &) {
+                // The txn is already rolled back; only the outermost
+                // level may retry.
+                if (!outer)
+                    throw;
+                backoff(attempt);
+            } catch (...) {
+                // User exception: roll the whole transaction back at the
+                // outermost level and propagate.
+                if (outer && tx.active_)
+                    tx.rollback();
+                else if (!outer)
+                    --tx.depth_;
+                throw;
+            }
+        }
+    }
+
+    /** Begin (or flat-nest into) this thread's transaction. */
+    Txn &begin();
+
+    /** Commit the current transaction (or pop one nesting level). */
+    void commit(Txn &tx);
+
+    /** The calling thread's active transaction, or nullptr. */
+    Txn *current();
+
+    TxnStats stats() const;
+
+    Truncation truncation() const { return cfg_.truncation; }
+    void setTruncation(Truncation t);
+
+    region::RegionLayer &regions() { return rl_; }
+    LockTable &locks() { return locks_; }
+
+    /** Wait until the async truncation thread has drained all logs. */
+    void drainTruncation();
+
+    /** Suspend/resume the async truncation thread (crash tests and the
+     *  Figure 6 idle-duty-cycle study). */
+    void pauseTruncation();
+    void resumeTruncation();
+
+    /** Committed transactions whose logs are not yet truncated. */
+    size_t truncationBacklog() const;
+
+  private:
+    friend class Txn;
+
+    void backoff(int attempt);
+    log::Rawl *threadLog();
+    size_t recoverLogs();
+
+    region::RegionLayer &rl_;
+    TxnConfig cfg_;
+    LockTable locks_;
+    std::atomic<uint64_t> clock_{0};
+    std::atomic<uint64_t> nextTxnId_{1};
+    std::unique_ptr<log::LogManager> logs_;
+    std::unique_ptr<TruncationThread> truncator_;
+    const uint64_t mgrId_;
+
+    std::atomic<uint64_t> nCommits_{0}, nAborts_{0}, nReadonly_{0};
+    uint64_t nReplayed_ = 0;
+};
+
+} // namespace mnemosyne::mtm
+
+#endif // MNEMOSYNE_MTM_TXN_MANAGER_H_

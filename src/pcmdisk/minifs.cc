@@ -1,0 +1,166 @@
+#include "pcmdisk/minifs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace mnemosyne::pcmdisk {
+
+MiniFs::File &
+MiniFs::file(int fd)
+{
+    if (fd < 0 || size_t(fd) >= files_.size() || !files_[size_t(fd)])
+        throw std::invalid_argument("MiniFs: bad file handle");
+    return *files_[size_t(fd)];
+}
+
+const MiniFs::File &
+MiniFs::file(int fd) const
+{
+    if (fd < 0 || size_t(fd) >= files_.size() || !files_[size_t(fd)])
+        throw std::invalid_argument("MiniFs: bad file handle");
+    return *files_[size_t(fd)];
+}
+
+int
+MiniFs::open(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = byName_.find(name);
+    if (it != byName_.end())
+        return it->second;
+    const int fd = int(files_.size());
+    auto f = std::make_unique<File>();
+    f->name = name;
+    files_.push_back(std::move(f));
+    byName_[name] = fd;
+    return fd;
+}
+
+bool
+MiniFs::exists(const std::string &name) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return byName_.count(name) > 0;
+}
+
+void
+MiniFs::unlink(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = byName_.find(name);
+    if (it == byName_.end())
+        return;
+    File &f = *files_[size_t(it->second)];
+    for (uint64_t b : f.blocks)
+        freeBlocks_.push_back(b);
+    files_[size_t(it->second)].reset();
+    byName_.erase(it);
+}
+
+uint64_t
+MiniFs::blockFor(File &f, uint64_t file_block)
+{
+    while (f.blocks.size() <= file_block) {
+        uint64_t b;
+        if (!freeBlocks_.empty()) {
+            b = freeBlocks_.back();
+            freeBlocks_.pop_back();
+        } else {
+            b = nextBlock_++;
+            if (b >= disk_.blockCount())
+                throw std::runtime_error("MiniFs: disk full");
+        }
+        f.blocks.push_back(b);
+    }
+    return f.blocks[file_block];
+}
+
+size_t
+MiniFs::pwrite(int fd, const void *buf, size_t n, uint64_t off)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    File &f = file(fd);
+    const auto *src = static_cast<const uint8_t *>(buf);
+    size_t done = 0;
+    while (done < n) {
+        const uint64_t fb = (off + done) / kBlockBytes;
+        const size_t boff = size_t((off + done) % kBlockBytes);
+        const size_t run = std::min(n - done, kBlockBytes - boff);
+        const uint64_t bno = blockFor(f, fb);
+        uint8_t block[kBlockBytes];
+        if (run != kBlockBytes)
+            disk_.readBlock(bno, block);    // read-modify-write
+        std::memcpy(block + boff, src + done, run);
+        disk_.writeBlock(bno, block);
+        if (f.dirty.empty() || f.dirty.back() != bno)
+            f.dirty.push_back(bno);
+        done += run;
+    }
+    f.size = std::max(f.size, off + n);
+    return n;
+}
+
+size_t
+MiniFs::pread(int fd, void *buf, size_t n, uint64_t off) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const File &f = file(fd);
+    if (off >= f.size)
+        return 0;
+    n = std::min<uint64_t>(n, f.size - off);
+    auto *dst = static_cast<uint8_t *>(buf);
+    size_t done = 0;
+    while (done < n) {
+        const uint64_t fb = (off + done) / kBlockBytes;
+        const size_t boff = size_t((off + done) % kBlockBytes);
+        const size_t run = std::min(n - done, kBlockBytes - boff);
+        uint8_t block[kBlockBytes];
+        if (fb < f.blocks.size()) {
+            disk_.readBlock(f.blocks[fb], block);
+        } else {
+            std::memset(block, 0, sizeof(block));
+        }
+        std::memcpy(dst + done, block + boff, run);
+        done += run;
+    }
+    return n;
+}
+
+void
+MiniFs::fsync(int fd)
+{
+    std::vector<uint64_t> dirty;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        File &f = file(fd);
+        std::sort(f.dirty.begin(), f.dirty.end());
+        f.dirty.erase(std::unique(f.dirty.begin(), f.dirty.end()),
+                      f.dirty.end());
+        dirty.swap(f.dirty);
+    }
+    disk_.syncBlocks(dirty);
+}
+
+void
+MiniFs::ftruncate(int fd, uint64_t size)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    File &f = file(fd);
+    const uint64_t keep = (size + kBlockBytes - 1) / kBlockBytes;
+    while (f.blocks.size() > keep) {
+        freeBlocks_.push_back(f.blocks.back());
+        f.blocks.pop_back();
+    }
+    f.size = size;
+}
+
+uint64_t
+MiniFs::size(int fd) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return file(fd).size;
+}
+
+} // namespace mnemosyne::pcmdisk

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MiniFs: a tiny file layer over the PCM-disk.
+ *
+ * The paper mounts ext2 on its PCM-disk; the baselines here (the
+ * Berkeley-DB-style storage manager, Boost-style serialization, and
+ * the msync-mode Tokyo Cabinet) only need named files with pread /
+ * pwrite / fsync / truncate, so MiniFs provides exactly that.  Data
+ * blocks carry the PCM-disk's full latency and crash semantics; file
+ * metadata (name -> block list) is kept by the layer itself, standing
+ * in for a journaled file system that recovers its own metadata.
+ */
+
+#ifndef MNEMOSYNE_PCMDISK_MINIFS_H_
+#define MNEMOSYNE_PCMDISK_MINIFS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pcmdisk/pcmdisk.h"
+
+namespace mnemosyne::pcmdisk {
+
+class MiniFs
+{
+  public:
+    explicit MiniFs(PcmDisk &disk) : disk_(disk) {}
+
+    MiniFs(const MiniFs &) = delete;
+    MiniFs &operator=(const MiniFs &) = delete;
+
+    /** Open (creating if needed); returns a small integer handle. */
+    int open(const std::string &name);
+
+    bool exists(const std::string &name) const;
+    void unlink(const std::string &name);
+
+    size_t pwrite(int fd, const void *buf, size_t n, uint64_t off);
+    size_t pread(int fd, void *buf, size_t n, uint64_t off) const;
+
+    /** Force this file's unsynced blocks to the PCM-disk media. */
+    void fsync(int fd);
+
+    void ftruncate(int fd, uint64_t size);
+    uint64_t size(int fd) const;
+
+    PcmDisk &disk() { return disk_; }
+
+  private:
+    struct File {
+        std::string name;
+        std::vector<uint64_t> blocks;   ///< Block numbers, in file order.
+        uint64_t size = 0;
+        std::vector<uint64_t> dirty;    ///< Blocks written since fsync.
+    };
+
+    File &file(int fd);
+    const File &file(int fd) const;
+    uint64_t blockFor(File &f, uint64_t file_block);
+
+    PcmDisk &disk_;
+    mutable std::mutex mu_;
+    std::map<std::string, int> byName_;
+    std::vector<std::unique_ptr<File>> files_;
+    uint64_t nextBlock_ = 0;
+    std::vector<uint64_t> freeBlocks_;
+};
+
+} // namespace mnemosyne::pcmdisk
+
+#endif // MNEMOSYNE_PCMDISK_MINIFS_H_

@@ -1,0 +1,4 @@
+// PStatic and pptr are header-only templates; this translation unit
+// exists so the build system has a stable object for the component and
+// anchors the header's compilation.
+#include "region/pstatic.h"

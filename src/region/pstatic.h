@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The pstatic keyword and the persistent pointer annotation.
+ *
+ * In the paper, `pstatic int x;` places x in a ".persistent" ELF section
+ * that the linker coalesces into the static persistent region, and
+ * `type persistent *p` is a Sparse annotation that statically flags
+ * assignments mixing persistent and volatile address spaces.
+ *
+ * Without a modified toolchain, this header provides the same
+ * programming model as library constructs:
+ *
+ *  - PStatic<T> declares a named global persistent variable.  It is
+ *    initialized once, the first time the program ever runs, and then
+ *    retains its value across invocations and crashes.  Resolution is
+ *    lazy: the variable binds to its slot in the static region on first
+ *    access after the runtime is initialized.
+ *
+ *  - pptr<T> is a pointer whose target is declared persistent.  Instead
+ *    of Sparse's compile-time address-space check, it verifies on
+ *    assignment (in debug builds) that the target really lies in the
+ *    reserved persistent range, catching exactly the dangerous
+ *    volatile-into-persistent assignments the annotation exists for.
+ */
+
+#ifndef MNEMOSYNE_REGION_PSTATIC_H_
+#define MNEMOSYNE_REGION_PSTATIC_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "region/region_table.h"
+
+namespace mnemosyne::region {
+
+/**
+ * A named global persistent variable (the pstatic keyword).
+ *
+ * Usage:
+ * @code
+ *   PStatic<uint64_t> boot_count("boot_count");
+ *   ...
+ *   *boot_count += 1;   // after runtime init
+ * @endcode
+ */
+template <typename T>
+class PStatic
+{
+  public:
+    explicit PStatic(const char *name, const T &init = T{})
+        : name_(name), init_(init)
+    {
+    }
+
+    /** The persistent storage; requires an active runtime. */
+    T *
+    get()
+    {
+        const uint64_t gen = regionLayerGeneration();
+        if (ptr_ == nullptr || gen_ != gen) {
+            RegionLayer *rl = currentRegionLayer();
+            assert(rl && "PStatic accessed without an active runtime");
+            ptr_ = static_cast<T *>(rl->pstaticVar(name_, sizeof(T),
+                                                   &init_));
+            gen_ = gen;
+        }
+        return ptr_;
+    }
+
+    T *operator->() { return get(); }
+    T &operator*() { return *get(); }
+
+    const char *name() const { return name_; }
+
+  private:
+    const char *name_;
+    T init_;
+    T *ptr_ = nullptr;
+    uint64_t gen_ = ~uint64_t(0);
+};
+
+/**
+ * Pointer-to-persistent annotation (the persistent keyword).  The check
+ * is shallow, exactly like the paper's annotation: it validates the
+ * target address, not the members of the target.
+ */
+template <typename T>
+class pptr
+{
+  public:
+    pptr() = default;
+
+    pptr(T *p) { assign(p); }      // NOLINT: implicit like a raw pointer
+
+    pptr &
+    operator=(T *p)
+    {
+        assign(p);
+        return *this;
+    }
+
+    T *get() const { return p_; }
+    T *operator->() const { return p_; }
+    T &operator*() const { return *p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+    operator T *() const { return p_; }   // NOLINT: decays like a pointer
+
+    /** Address of the underlying raw pointer cell (for pmalloc etc.). */
+    T **cell() { return &p_; }
+
+  private:
+    void
+    assign(T *p)
+    {
+#ifndef NDEBUG
+        if (p != nullptr) {
+            RegionLayer *rl = currentRegionLayer();
+            assert((!rl || rl->isPersistent(p)) &&
+                   "assigning a volatile address to a persistent pointer");
+        }
+#endif
+        p_ = p;
+    }
+
+    T *p_ = nullptr;
+};
+
+} // namespace mnemosyne::region
+
+#endif // MNEMOSYNE_REGION_PSTATIC_H_

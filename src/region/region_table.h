@@ -1,0 +1,153 @@
+/**
+ * @file
+ * libmnemosyne's persistent-region layer (paper section 4.2).
+ *
+ * The library creates and records the persistent regions of a process:
+ *
+ *  - All regions live in a reserved range of virtual address space,
+ *    allowing a quick range check to decide whether an address refers to
+ *    persistent data (used by the transaction system, section 5).
+ *  - A *static region* holds global persistent variables (the pstatic
+ *    keyword) and, at its base, a 16 KB region table recording every
+ *    dynamic region of the process: <addr, len, backing file, metadata>.
+ *  - The region table doubles as an intention log: pmap() writes the
+ *    entry, creates and maps the backing file, and only then durably
+ *    flags the entry valid.  At startup, valid entries are re-mapped
+ *    and partially created ones are destroyed.
+ */
+
+#ifndef MNEMOSYNE_REGION_REGION_TABLE_H_
+#define MNEMOSYNE_REGION_REGION_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "region/region_manager.h"
+
+namespace mnemosyne::region {
+
+/** Region flags (metadata stored in the region table). */
+enum RegionFlags : uint64_t {
+    kRegionDefault = 0,
+    kRegionHeap = 1,       ///< Used by the persistent (superblock) heap.
+    kRegionLog = 2,        ///< Used by the transaction log manager.
+    kRegionHeapBig = 3,    ///< Used by the large-block allocator.
+};
+
+class RegionLayer
+{
+  public:
+    struct RegionInfo {
+        void *addr;
+        size_t len;
+        uint64_t flags;
+        size_t slot;
+    };
+
+    /**
+     * Initialize persistent regions for this process: map (or create)
+     * the static region, destroy partially created dynamic regions, and
+     * re-map the rest at their recorded addresses.
+     */
+    RegionLayer(RegionManager &mgr, size_t static_region_bytes = 1 << 20);
+    ~RegionLayer();
+
+    RegionLayer(const RegionLayer &) = delete;
+    RegionLayer &operator=(const RegionLayer &) = delete;
+
+    /**
+     * Create a dynamic persistent region of @p len bytes (like mmap with
+     * MAP_PERSIST).  @p persistent_slot, when non-null, must point into
+     * persistent memory and durably receives the region's address so a
+     * crash right after creation cannot leak the region (section 3.4).
+     */
+    void *pmap(void **persistent_slot, size_t len,
+               uint64_t flags = kRegionDefault);
+
+    /** Delete a dynamic region and its backing file. */
+    void punmap(void *addr, size_t len);
+
+    /**
+     * Resolve (or create on first use) the storage of a persistent
+     * static variable.  On creation the variable is initialized from
+     * @p init (may be null for zero-init); afterwards it retains its
+     * value across invocations, like the paper's pstatic keyword.
+     */
+    void *pstaticVar(const std::string &name, size_t size,
+                     const void *init);
+
+    /** Quick range check: does @p addr refer to persistent memory? */
+    bool
+    isPersistent(const void *addr) const
+    {
+        const auto a = reinterpret_cast<uintptr_t>(addr);
+        return a >= mgr_.vaBase() && a < mgr_.vaBase() + mgr_.vaReserve();
+    }
+
+    /** True when the static region was created by this invocation. */
+    bool firstRun() const { return firstRun_; }
+
+    /** Every valid dynamic region, for higher-layer recovery. */
+    std::vector<RegionInfo> regions() const;
+
+    /** The first region whose flags match, or {nullptr,0,...}. */
+    RegionInfo findByFlags(uint64_t flags) const;
+
+    RegionManager &manager() { return mgr_; }
+
+  private:
+    struct RegionEntry {
+        uint64_t addr;
+        uint64_t len;
+        uint64_t flags;
+        uint64_t state;     ///< 0 free, 1 intent, 2 valid.
+    };
+
+    struct PVarEntry {
+        char name[40];
+        uint64_t offset;
+        uint64_t size;
+        uint64_t state;     ///< 0 free, 1 intent, 2 valid.
+    };
+
+    /** Header at the base of the static region.  The region table is
+     *  16 KB (512 slots), as in the paper. */
+    struct StaticHeader {
+        uint64_t magic;
+        uint64_t staticBytes;
+        uint64_t nextVa;        ///< Bump allocator for dynamic region VAs.
+        uint64_t varBump;       ///< Bump offset for pstatic variable data.
+        RegionEntry table[512];
+        PVarEntry vars[256];
+    };
+
+    static constexpr uint64_t kMagic = 0x4d4e535441543031ULL; // "MNSTAT01"
+
+    static std::string slotFileName(size_t slot);
+    void formatStaticRegion(size_t static_bytes);
+    void recoverRegions();
+
+    RegionManager &mgr_;
+    StaticHeader *hdr_ = nullptr;
+    uint8_t *varArea_ = nullptr;
+    size_t varAreaBytes_ = 0;
+    bool firstRun_ = false;
+    mutable std::mutex mu_;
+};
+
+/**
+ * The process-wide region layer, installed by the runtime; null when no
+ * runtime is active.  PStatic<T> resolves through this.
+ */
+RegionLayer *currentRegionLayer();
+void setCurrentRegionLayer(RegionLayer *rl);
+
+/** Generation counter bumped on every install, to invalidate caches. */
+uint64_t regionLayerGeneration();
+
+} // namespace mnemosyne::region
+
+#endif // MNEMOSYNE_REGION_REGION_TABLE_H_

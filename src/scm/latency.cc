@@ -1,0 +1,77 @@
+#include "scm/latency.h"
+
+#include <chrono>
+
+namespace mnemosyne::scm {
+
+namespace {
+
+#if defined(__x86_64__)
+inline uint64_t
+readTsc()
+{
+    uint32_t lo, hi;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (uint64_t(hi) << 32) | lo;
+}
+#else
+inline uint64_t
+readTsc()
+{
+    return uint64_t(std::chrono::steady_clock::now().time_since_epoch().count());
+}
+#endif
+
+/**
+ * Measure TSC ticks per nanosecond once, scaled by 2^16 to keep integer
+ * math while preserving sub-tick precision.
+ */
+uint64_t
+calibrate()
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const uint64_t c0 = readTsc();
+    // Spin for ~2 ms of wall time: long enough to average out noise,
+    // short enough not to be noticed at process start.
+    while (std::chrono::duration_cast<std::chrono::microseconds>(
+               clock::now() - t0).count() < 2000) {
+    }
+    const uint64_t c1 = readTsc();
+    const auto t1 = clock::now();
+    const uint64_t ns = uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+    if (ns == 0 || c1 <= c0)
+        return 1 << 16; // fall back to 1 tick/ns
+    return ((c1 - c0) << 16) / ns;
+}
+
+} // namespace
+
+uint64_t
+DelayLoop::ticksPerNsQ16()
+{
+    static const uint64_t rate = calibrate();
+    return rate;
+}
+
+uint64_t
+DelayLoop::rdtsc()
+{
+    return readTsc();
+}
+
+void
+DelayLoop::spin(uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    const uint64_t target = (ns * ticksPerNsQ16()) >> 16;
+    const uint64_t start = readTsc();
+    while (readTsc() - start < target) {
+        // Calibration tests (bench_calibration) verify that inserted
+        // delays are at least equal to the target delay.
+    }
+}
+
+} // namespace mnemosyne::scm

@@ -1,0 +1,383 @@
+#include "scm/scm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace mnemosyne::scm {
+
+namespace {
+
+std::atomic<ScmContext *> gCurrent{nullptr};
+
+ScmContext &
+defaultCtx()
+{
+    static ScmContext c{ScmConfig{}};
+    return c;
+}
+
+uintptr_t
+lineBase(const void *addr)
+{
+    return reinterpret_cast<uintptr_t>(addr) & ~(uintptr_t(kCacheLineSize) - 1);
+}
+
+uint64_t
+nextCtxId()
+{
+    static std::atomic<uint64_t> gen{0};
+    return gen.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace
+
+ScmContext &
+ctx()
+{
+    ScmContext *c = gCurrent.load(std::memory_order_acquire);
+    return c ? *c : defaultCtx();
+}
+
+void
+setCtx(ScmContext *c)
+{
+    gCurrent.store(c, std::memory_order_release);
+}
+
+ScmContext::ScmContext(ScmConfig cfg) : cfg_(cfg), id_(nextCtxId())
+{
+}
+
+ScmContext::~ScmContext()
+{
+    if (gCurrent.load(std::memory_order_acquire) == this)
+        setCtx(nullptr);
+}
+
+ScmContext::ThreadScm &
+ScmContext::self()
+{
+    // Cache the lookup per (thread, context).  The cache is keyed by the
+    // context's unique id, not its address: a new context may be
+    // allocated where a destroyed one lived.
+    thread_local uint64_t cached_id = 0;
+    thread_local ThreadScm *cached_state = nullptr;
+    if (cached_id == id_ && cached_state)
+        return *cached_state;
+
+    std::lock_guard<std::mutex> g(regMu_);
+    auto &slot = threads_[std::this_thread::get_id()];
+    if (!slot)
+        slot = std::make_unique<ThreadScm>();
+    cached_id = id_;
+    cached_state = slot.get();
+    return *slot;
+}
+
+void
+ScmContext::hookEvent(Event ev, const void *addr, size_t len)
+{
+    const uint64_t n = eventNo_.fetch_add(1, std::memory_order_relaxed) + 1;
+    WriteHook h;
+    {
+        std::lock_guard<std::mutex> g(hookMu_);
+        h = hook_;
+    }
+    if (h)
+        h(n, ev, addr, len);
+}
+
+void
+ScmContext::setWriteHook(WriteHook hook)
+{
+    std::lock_guard<std::mutex> g(hookMu_);
+    hook_ = std::move(hook);
+}
+
+void
+ScmContext::setCrashMode(CrashPersistMode m, uint64_t seed)
+{
+    cfg_.crash_mode = m;
+    cfg_.crash_seed = seed;
+}
+
+ScmContext::JournalEntry
+ScmContext::makeEntry(void *addr, const void *src, size_t len,
+                      WriteState st)
+{
+    JournalEntry e;
+    e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    e.addr = reinterpret_cast<uintptr_t>(addr);
+    e.len = uint32_t(len);
+    e.state = st;
+    if (len > JournalEntry::kInlineBytes)
+        e.spill = std::make_unique<uint8_t[]>(2 * len);
+    std::memcpy(e.oldBytes(), addr, len);
+    std::memcpy(e.newBytes(), src, len);
+    std::memcpy(addr, src, len);
+    return e;
+}
+
+void
+ScmContext::store(void *addr, const void *src, size_t len)
+{
+    if (halted_.load(std::memory_order_acquire))
+        return;
+    nStores_.fetch_add(1, std::memory_order_relaxed);
+    bytesStored_.fetch_add(len, std::memory_order_relaxed);
+    hookEvent(Event::kStore, addr, len);
+    if (!cfg_.failure_tracking) {
+        std::memcpy(addr, src, len);
+        return;
+    }
+    // Into the shared cache pool: the write is coherent and visible,
+    // and any thread's later flush of its line(s) can issue it.
+    std::lock_guard<std::mutex> g(cache_.mu);
+    JournalEntry e = makeEntry(addr, src, len, WriteState::kCached);
+    const uint64_t key = e.seq;
+    const uintptr_t first = lineBase(addr);
+    const uintptr_t last =
+        lineBase(static_cast<const uint8_t *>(addr) + len - 1);
+    for (uintptr_t line = first; line <= last; line += kCacheLineSize)
+        cache_.byLine[line].push_back(key);
+    cache_.entries.emplace(key, std::move(e));
+}
+
+void
+ScmContext::wtstore(void *addr, const void *src, size_t len)
+{
+    if (halted_.load(std::memory_order_acquire))
+        return;
+    nWtStores_.fetch_add(1, std::memory_order_relaxed);
+    bytesStreamed_.fetch_add(len, std::memory_order_relaxed);
+    hookEvent(Event::kWtStore, addr, len);
+    ThreadScm &t = self();
+    if (t.wtBytesSinceFence == 0)
+        t.wtSeqStart = std::chrono::steady_clock::now();
+    t.wtBytesSinceFence += len;
+    if (!cfg_.failure_tracking) {
+        std::memcpy(addr, src, len);
+        return;
+    }
+    JournalEntry e = makeEntry(addr, src, len, WriteState::kIssued);
+    std::lock_guard<std::mutex> g(t.mu);
+    t.entries.push_back(std::move(e));
+}
+
+void
+ScmContext::flush(const void *addr)
+{
+    if (halted_.load(std::memory_order_acquire))
+        return;
+    nFlushes_.fetch_add(1, std::memory_order_relaxed);
+    hookEvent(Event::kFlush, addr, kCacheLineSize);
+    if (cfg_.failure_tracking) {
+        // Claim the line's cached writes: they are now issued toward SCM
+        // and the *calling* thread's next fence retires them.  clflush
+        // operates on the coherent cache, so this works across threads
+        // (asynchronous truncation relies on it).
+        const uintptr_t base = lineBase(addr);
+        std::vector<JournalEntry> claimed;
+        {
+            std::lock_guard<std::mutex> g(cache_.mu);
+            auto it = cache_.byLine.find(base);
+            if (it != cache_.byLine.end()) {
+                for (uint64_t key : it->second) {
+                    auto eit = cache_.entries.find(key);
+                    if (eit == cache_.entries.end())
+                        continue; // claimed via another of its lines
+                    eit->second.state = WriteState::kIssued;
+                    claimed.push_back(std::move(eit->second));
+                    cache_.entries.erase(eit);
+                }
+                cache_.byLine.erase(it);
+            }
+        }
+        if (!claimed.empty()) {
+            ThreadScm &t = self();
+            std::lock_guard<std::mutex> g(t.mu);
+            for (auto &e : claimed)
+                t.entries.push_back(std::move(e));
+        }
+    }
+    // Cacheable writes pay the PCM write latency on the subsequent
+    // flush (paper, section 6.1).
+    account_.charge(cfg_.latency_mode, cfg_.write_latency_ns);
+}
+
+void
+ScmContext::flushRange(const void *addr, size_t len)
+{
+    if (len == 0)
+        return;
+    const uintptr_t first = lineBase(addr);
+    const uintptr_t last =
+        lineBase(reinterpret_cast<const uint8_t *>(addr) + len - 1);
+    for (uintptr_t line = first; line <= last; line += kCacheLineSize)
+        flush(reinterpret_cast<const void *>(line));
+}
+
+void
+ScmContext::fence()
+{
+    if (halted_.load(std::memory_order_acquire))
+        return;
+    nFences_.fetch_add(1, std::memory_order_relaxed);
+    hookEvent(Event::kFence, nullptr, 0);
+    ThreadScm &t = self();
+
+    // Bandwidth model: the delay for a sequence of streaming writes is
+    // inserted after the sequence completes, sized so the sequence's
+    // total duration matches the modelled bandwidth (section 6.1 —
+    // "accurate to within 4%").  The time already spent issuing the
+    // writes counts toward the transfer in spin mode; the virtual mode
+    // charges the full model time for deterministic accounting.
+    uint64_t delay = cfg_.write_latency_ns;
+    if (t.wtBytesSinceFence > 0 && cfg_.write_bandwidth_bytes_per_us > 0) {
+        uint64_t bw_ns =
+            t.wtBytesSinceFence * 1000 / cfg_.write_bandwidth_bytes_per_us;
+        if (cfg_.latency_mode == LatencyMode::kSpin) {
+            const uint64_t elapsed = uint64_t(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t.wtSeqStart)
+                    .count());
+            bw_ns = bw_ns > elapsed ? bw_ns - elapsed : 0;
+        }
+        delay += bw_ns;
+        t.wtBytesSinceFence = 0;
+    }
+
+    if (cfg_.failure_tracking) {
+        // Retire this thread's issued writes: they are now durable.
+        std::lock_guard<std::mutex> g(t.mu);
+        std::erase_if(t.entries, [](const JournalEntry &e) {
+            return e.state == WriteState::kIssued;
+        });
+    }
+    account_.charge(cfg_.latency_mode, delay);
+}
+
+uint64_t
+ScmContext::crash(bool halt_after)
+{
+    assert(cfg_.failure_tracking && "crash() requires failure tracking");
+    if (halt_after)
+        halted_.store(true, std::memory_order_release);
+
+    // Collect every outstanding write — per-thread issued journals plus
+    // the shared cache pool — in global write order.
+    std::vector<JournalEntry> all;
+    {
+        std::lock_guard<std::mutex> reg(regMu_);
+        for (auto &[tid, t] : threads_) {
+            (void)tid;
+            std::lock_guard<std::mutex> g(t->mu);
+            for (auto &e : t->entries)
+                all.push_back(std::move(e));
+            t->entries.clear();
+            t->wtBytesSinceFence = 0;
+        }
+        std::lock_guard<std::mutex> g(cache_.mu);
+        for (auto &[key, e] : cache_.entries) {
+            (void)key;
+            all.push_back(std::move(e));
+        }
+        cache_.entries.clear();
+        cache_.byLine.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const JournalEntry &a, const JournalEntry &b) {
+                  return a.seq < b.seq;
+              });
+
+    // Step 1: revert everything, newest first, to reach the durable base.
+    for (auto it = all.rbegin(); it != all.rend(); ++it)
+        std::memcpy(reinterpret_cast<void *>(it->addr), it->oldBytes(),
+                    it->len);
+
+    // Step 2: re-apply the writes that "made it" to SCM, oldest first.
+    uint64_t lost = 0;
+    std::mt19937_64 rng(cfg_.crash_seed ^ 0x9e3779b97f4a7c15ULL);
+    for (auto &e : all) {
+        bool keep_entry = false;
+        switch (cfg_.crash_mode) {
+          case CrashPersistMode::kDropUnfenced:
+            keep_entry = false;
+            break;
+          case CrashPersistMode::kKeepIssued:
+            keep_entry = (e.state == WriteState::kIssued);
+            break;
+          case CrashPersistMode::kKeepAll:
+            keep_entry = true;
+            break;
+          case CrashPersistMode::kRandomSubset: {
+            // SCM guarantees atomic 64-bit writes (section 2); decide
+            // survival per aligned 8-byte chunk of the entry.
+            bool any_lost = false;
+            for (uint32_t off = 0; off < e.len; off += 8) {
+                const uint32_t n = std::min<uint32_t>(8, e.len - off);
+                if (rng() & 1) {
+                    std::memcpy(reinterpret_cast<void *>(e.addr + off),
+                                e.newBytes() + off, n);
+                } else {
+                    any_lost = true;
+                }
+            }
+            if (any_lost)
+                ++lost;
+            continue;
+          }
+        }
+        if (keep_entry) {
+            std::memcpy(reinterpret_cast<void *>(e.addr), e.newBytes(),
+                        e.len);
+        } else {
+            ++lost;
+        }
+    }
+    return lost;
+}
+
+void
+ScmContext::persistAll()
+{
+    std::lock_guard<std::mutex> reg(regMu_);
+    for (auto &[tid, t] : threads_) {
+        (void)tid;
+        std::lock_guard<std::mutex> g(t->mu);
+        t->entries.clear();
+        t->wtBytesSinceFence = 0;
+    }
+    std::lock_guard<std::mutex> g(cache_.mu);
+    cache_.entries.clear();
+    cache_.byLine.clear();
+}
+
+ScmStats
+ScmContext::statsSnapshot() const
+{
+    ScmStats s;
+    s.stores = nStores_.load(std::memory_order_relaxed);
+    s.wtstores = nWtStores_.load(std::memory_order_relaxed);
+    s.flushes = nFlushes_.load(std::memory_order_relaxed);
+    s.fences = nFences_.load(std::memory_order_relaxed);
+    s.bytes_streamed = bytesStreamed_.load(std::memory_order_relaxed);
+    s.bytes_stored = bytesStored_.load(std::memory_order_relaxed);
+    s.delay_ns = account_.totalNs();
+    return s;
+}
+
+void
+ScmContext::resetStats()
+{
+    nStores_ = 0;
+    nWtStores_ = 0;
+    nFlushes_ = 0;
+    nFences_ = 0;
+    bytesStreamed_ = 0;
+    bytesStored_ = 0;
+    account_.reset();
+}
+
+} // namespace mnemosyne::scm

@@ -1,0 +1,3 @@
+// OArchive / IArchive are header-only templates; this translation unit
+// anchors the component in the build.
+#include "serialize/archive.h"

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Binary serialization archives — the Boost.Serialization stand-in for
+ * the Table 5 baseline ("serialize the data into a buffer and write it
+ * to a file ... productivity applications use this approach for
+ * periodic fast saves").
+ *
+ * The API follows Boost's conventions: types expose
+ * `template <class Archive> void serialize(Archive &ar, unsigned
+ * version)` and stream members with `ar & member;`.  Primitives,
+ * strings, vectors and pairs are built in.  An archive serializes to a
+ * growable buffer; saveToFile() writes the buffer through MiniFs to
+ * the PCM-disk and fsyncs, which is the full cost the paper charges
+ * the serialization strategy.
+ */
+
+#ifndef MNEMOSYNE_SERIALIZE_ARCHIVE_H_
+#define MNEMOSYNE_SERIALIZE_ARCHIVE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "pcmdisk/minifs.h"
+
+namespace mnemosyne::serialize {
+
+inline constexpr uint32_t kArchiveMagic = 0x4d4e4152; // "MNAR"
+
+class OArchive;
+class IArchive;
+
+template <typename T, typename A>
+concept HasSerialize = requires(T &t, A &a) { t.serialize(a, 0u); };
+
+/** Serializing (output) archive. */
+class OArchive
+{
+  public:
+    explicit OArchive(uint32_t version = 1)
+    {
+        writeRaw(&kArchiveMagic, sizeof(kArchiveMagic));
+        writeRaw(&version, sizeof(version));
+    }
+
+    template <typename T>
+    OArchive &
+    operator&(const T &v)
+    {
+        save(v);
+        return *this;
+    }
+
+    template <typename T>
+        requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+    void save(const T &v) { writeRaw(&v, sizeof(T)); }
+
+    void
+    save(const std::string &s)
+    {
+        const uint64_t n = s.size();
+        writeRaw(&n, sizeof(n));
+        writeRaw(s.data(), s.size());
+    }
+
+    template <typename T>
+    void
+    save(const std::vector<T> &v)
+    {
+        const uint64_t n = v.size();
+        writeRaw(&n, sizeof(n));
+        if constexpr (std::is_arithmetic_v<T>) {
+            writeRaw(v.data(), v.size() * sizeof(T));
+        } else {
+            for (const auto &e : v)
+                save(e);
+        }
+    }
+
+    template <typename A, typename B>
+    void
+    save(const std::pair<A, B> &p)
+    {
+        save(p.first);
+        save(p.second);
+    }
+
+    template <typename T>
+        requires HasSerialize<T, OArchive>
+    void
+    save(const T &v)
+    {
+        // Boost convention: serialize() is non-const and used for both
+        // directions; saving does not modify the object.
+        const_cast<T &>(v).serialize(*this, 1);
+    }
+
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+
+    /** Write the archive to a file on the PCM-disk and fsync it. */
+    void
+    saveToFile(pcmdisk::MiniFs &fs, const std::string &name) const
+    {
+        const int fd = fs.open(name);
+        fs.ftruncate(fd, 0);
+        fs.pwrite(fd, buf_.data(), buf_.size(), 0);
+        fs.fsync(fd);
+    }
+
+  private:
+    void
+    writeRaw(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    std::vector<uint8_t> buf_;
+};
+
+/** Deserializing (input) archive. */
+class IArchive
+{
+  public:
+    explicit IArchive(std::vector<uint8_t> data) : buf_(std::move(data))
+    {
+        uint32_t magic = 0;
+        readRaw(&magic, sizeof(magic));
+        if (magic != kArchiveMagic)
+            throw std::runtime_error("IArchive: bad magic");
+        readRaw(&version_, sizeof(version_));
+    }
+
+    /** Load a whole file from the PCM-disk into an archive. */
+    static IArchive
+    loadFromFile(pcmdisk::MiniFs &fs, const std::string &name)
+    {
+        const int fd = fs.open(name);
+        std::vector<uint8_t> data(fs.size(fd));
+        fs.pread(fd, data.data(), data.size(), 0);
+        return IArchive(std::move(data));
+    }
+
+    template <typename T>
+    IArchive &
+    operator&(T &v)
+    {
+        load(v);
+        return *this;
+    }
+
+    template <typename T>
+        requires std::is_arithmetic_v<T> || std::is_enum_v<T>
+    void load(T &v) { readRaw(&v, sizeof(T)); }
+
+    void
+    load(std::string &s)
+    {
+        uint64_t n = 0;
+        readRaw(&n, sizeof(n));
+        s.resize(n);
+        readRaw(s.data(), n);
+    }
+
+    template <typename T>
+    void
+    load(std::vector<T> &v)
+    {
+        uint64_t n = 0;
+        readRaw(&n, sizeof(n));
+        v.resize(n);
+        if constexpr (std::is_arithmetic_v<T>) {
+            readRaw(v.data(), n * sizeof(T));
+        } else {
+            for (auto &e : v)
+                load(e);
+        }
+    }
+
+    template <typename A, typename B>
+    void
+    load(std::pair<A, B> &p)
+    {
+        load(p.first);
+        load(p.second);
+    }
+
+    template <typename T>
+        requires HasSerialize<T, IArchive>
+    void
+    load(T &v)
+    {
+        v.serialize(*this, version_);
+    }
+
+    uint32_t version() const { return version_; }
+
+  private:
+    void
+    readRaw(void *p, size_t n)
+    {
+        if (pos_ + n > buf_.size())
+            throw std::runtime_error("IArchive: truncated archive");
+        std::memcpy(p, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    uint32_t version_ = 0;
+};
+
+} // namespace mnemosyne::serialize
+
+#endif // MNEMOSYNE_SERIALIZE_ARCHIVE_H_

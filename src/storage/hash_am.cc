@@ -1,0 +1,256 @@
+#include "storage/hash_am.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace mnemosyne::storage {
+
+namespace {
+
+/** Meta page (page 0) layout. */
+struct MetaPage {
+    uint64_t magic;
+    uint32_t nbuckets;
+};
+
+constexpr uint64_t kMetaMagic = 0x4d4e48414d455441ULL; // "MNHAMETA"
+
+} // namespace
+
+HashAm::HashAm(Pager &pager, uint32_t nbuckets)
+    : pager_(pager), nbuckets_(nbuckets), locks_(nbuckets)
+{
+}
+
+void
+HashAm::create()
+{
+    // Page 0: meta.  Pages 1..nbuckets: empty buckets.
+    uint8_t *meta = pager_.fetch(0);
+    auto *m = reinterpret_cast<MetaPage *>(meta);
+    m->magic = kMetaMagic;
+    m->nbuckets = nbuckets_;
+    pager_.markDirty(0);
+    for (uint32_t b = 0; b < nbuckets_; ++b) {
+        uint8_t *page = pager_.fetch(1 + b);
+        auto *h = reinterpret_cast<PageHdr *>(page);
+        h->nextOverflow = 0;
+        h->nRecords = 0;
+        h->freeOff = uint16_t(kHdrBytes);
+        pager_.markDirty(1 + b);
+    }
+}
+
+void
+HashAm::open()
+{
+    const auto *m = reinterpret_cast<const MetaPage *>(pager_.fetch(0));
+    if (m->magic != kMetaMagic)
+        throw std::runtime_error("HashAm: bad meta page");
+    if (m->nbuckets != nbuckets_)
+        throw std::runtime_error("HashAm: bucket count mismatch");
+}
+
+uint64_t
+HashAm::hashOf(std::string_view key) const
+{
+    // FNV-1a, as a stand-in for Berkeley DB's hash function.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : key) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint32_t
+HashAm::bucketPage(std::string_view key) const
+{
+    return 1 + uint32_t(hashOf(key) % nbuckets_);
+}
+
+std::mutex &
+HashAm::bucketLock(std::string_view key)
+{
+    return locks_[size_t(hashOf(key) % nbuckets_)];
+}
+
+bool
+HashAm::find(std::string_view key, uint32_t *page_no, uint32_t *off,
+             uint16_t *klen, uint16_t *vlen)
+{
+    uint32_t pno = bucketPage(key);
+    while (pno != 0) {
+        uint8_t *page = pager_.fetch(pno);
+        const auto *h = reinterpret_cast<const PageHdr *>(page);
+        uint32_t pos = kHdrBytes;
+        while (pos < h->freeOff) {
+            uint16_t kl, vl;
+            std::memcpy(&kl, page + pos, 2);
+            std::memcpy(&vl, page + pos + 2, 2);
+            if (kl == kTombKey) {
+                pos += 4 + vl; // vl holds the tombstoned body size
+                continue;
+            }
+            if (kl == key.size() &&
+                std::memcmp(page + pos + 4, key.data(), kl) == 0) {
+                *page_no = pno;
+                *off = pos;
+                *klen = kl;
+                *vlen = vl;
+                return true;
+            }
+            pos += 4 + kl + vl;
+        }
+        pno = h->nextOverflow;
+    }
+    return false;
+}
+
+bool
+HashAm::get(std::string_view key, std::string *val)
+{
+    std::lock_guard<std::mutex> g(bucketLock(key));
+    uint32_t pno, off;
+    uint16_t kl, vl;
+    if (!find(key, &pno, &off, &kl, &vl))
+        return false;
+    if (val) {
+        uint8_t *page = pager_.fetch(pno);
+        val->assign(reinterpret_cast<char *>(page + off + 4 + kl), vl);
+    }
+    return true;
+}
+
+void
+HashAm::tombstone(uint32_t page_no, uint32_t off, const WriteObserver &obs)
+{
+    uint8_t *page = pager_.fetch(page_no);
+    uint16_t kl, vl;
+    std::memcpy(&kl, page + off, 2);
+    std::memcpy(&vl, page + off + 2, 2);
+    if (obs)
+        obs(page_no, off, 4, page + off, false);
+    const uint16_t body = uint16_t(kl + vl);
+    std::memcpy(page + off, &kTombKey, 2);
+    std::memcpy(page + off + 2, &body, 2);
+    if (obs)
+        obs(page_no, off, 4, page + off, true);
+    pager_.markDirty(page_no);
+}
+
+void
+HashAm::append(uint32_t first_page, std::string_view key,
+               std::string_view val, const WriteObserver &obs)
+{
+    const size_t need = 4 + key.size() + val.size();
+    if (need > kDbPageBytes - kHdrBytes)
+        throw std::invalid_argument("HashAm: record larger than a page");
+
+    uint32_t pno = first_page;
+    for (;;) {
+        uint8_t *page = pager_.fetch(pno);
+        auto *h = reinterpret_cast<PageHdr *>(page);
+        if (h->freeOff + need <= kDbPageBytes) {
+            const uint32_t pos = h->freeOff;
+            if (obs) {
+                obs(pno, 0, uint32_t(kHdrBytes), page, false);
+                obs(pno, pos, uint32_t(need), page + pos, false);
+            }
+            const uint16_t kl = uint16_t(key.size());
+            const uint16_t vl = uint16_t(val.size());
+            std::memcpy(page + pos, &kl, 2);
+            std::memcpy(page + pos + 2, &vl, 2);
+            std::memcpy(page + pos + 4, key.data(), kl);
+            std::memcpy(page + pos + 4 + kl, val.data(), vl);
+            h->nRecords++;
+            h->freeOff = uint16_t(pos + need);
+            if (obs) {
+                obs(pno, 0, uint32_t(kHdrBytes), page, true);
+                obs(pno, pos, uint32_t(need), page + pos, true);
+            }
+            pager_.markDirty(pno);
+            return;
+        }
+        if (h->nextOverflow != 0) {
+            pno = h->nextOverflow;
+            continue;
+        }
+        // Chain a fresh overflow page.
+        uint32_t fresh;
+        {
+            std::lock_guard<std::mutex> g(allocMu_);
+            fresh = pager_.allocPage();
+        }
+        uint8_t *ovp = pager_.fetch(fresh);
+        auto *oh = reinterpret_cast<PageHdr *>(ovp);
+        if (obs)
+            obs(fresh, 0, uint32_t(kHdrBytes), ovp, false);
+        oh->nextOverflow = 0;
+        oh->nRecords = 0;
+        oh->freeOff = uint16_t(kHdrBytes);
+        if (obs)
+            obs(fresh, 0, uint32_t(kHdrBytes), ovp, true);
+        pager_.markDirty(fresh);
+
+        if (obs)
+            obs(pno, 0, uint32_t(kHdrBytes), page, false);
+        h->nextOverflow = fresh;
+        if (obs)
+            obs(pno, 0, uint32_t(kHdrBytes), page, true);
+        pager_.markDirty(pno);
+        pno = fresh;
+    }
+}
+
+void
+HashAm::put(std::string_view key, std::string_view val,
+            const WriteObserver &obs)
+{
+    uint32_t pno, off;
+    uint16_t kl, vl;
+    if (find(key, &pno, &off, &kl, &vl))
+        tombstone(pno, off, obs);
+    append(bucketPage(key), key, val, obs);
+}
+
+bool
+HashAm::del(std::string_view key, const WriteObserver &obs)
+{
+    uint32_t pno, off;
+    uint16_t kl, vl;
+    if (!find(key, &pno, &off, &kl, &vl))
+        return false;
+    tombstone(pno, off, obs);
+    return true;
+}
+
+size_t
+HashAm::count()
+{
+    size_t n = 0;
+    for (uint32_t b = 0; b < nbuckets_; ++b) {
+        uint32_t pno = 1 + b;
+        while (pno != 0) {
+            uint8_t *page = pager_.fetch(pno);
+            const auto *h = reinterpret_cast<const PageHdr *>(page);
+            uint32_t pos = kHdrBytes;
+            while (pos < h->freeOff) {
+                uint16_t kl, vl;
+                std::memcpy(&kl, page + pos, 2);
+                std::memcpy(&vl, page + pos + 2, 2);
+                if (kl == kTombKey) {
+                    pos += 4 + vl;
+                } else {
+                    ++n;
+                    pos += 4 + kl + vl;
+                }
+            }
+            pno = h->nextOverflow;
+        }
+    }
+    return n;
+}
+
+} // namespace mnemosyne::storage

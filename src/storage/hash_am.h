@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hash access method for MiniBdb: a static hash table with overflow
+ * pages, the stand-in for Berkeley DB's hash tables that the paper's
+ * microbenchmarks commit small changes to (section 6.3).
+ *
+ * Bucket pages hold variable-length records appended behind a small header;
+ * deletes tombstone in place.  Every page modification is reported to
+ * a write observer so the storage manager can WAL-log the after-image
+ * and capture undo for aborts.
+ */
+
+#ifndef MNEMOSYNE_STORAGE_HASH_AM_H_
+#define MNEMOSYNE_STORAGE_HASH_AM_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/pager.h"
+
+namespace mnemosyne::storage {
+
+class HashAm
+{
+  public:
+    /** Called BEFORE bytes [off, off+len) of @p page_no change, with the
+     *  page image still holding the old bytes; and the caller then
+     *  applies the change.  Observers capture undo here.  A second call
+     *  with after=true delivers the new bytes for WAL logging. */
+    using WriteObserver =
+        std::function<void(uint32_t page_no, uint32_t off, uint32_t len,
+                           const uint8_t *bytes, bool after)>;
+
+    HashAm(Pager &pager, uint32_t nbuckets);
+
+    /** Format meta + bucket pages on a fresh file. */
+    void create();
+
+    /** Open an existing table (reads the meta page). */
+    void open();
+
+    /** Insert or replace. @p obs receives every page mutation. */
+    void put(std::string_view key, std::string_view val,
+             const WriteObserver &obs);
+
+    bool get(std::string_view key, std::string *val);
+
+    /** Remove; returns false if the key was absent. */
+    bool del(std::string_view key, const WriteObserver &obs);
+
+    size_t count();
+
+    uint32_t nbuckets() const { return nbuckets_; }
+
+    /** Lock covering one bucket chain (public so the storage manager
+     *  can hold it across a record-level transaction). */
+    std::mutex &bucketLock(std::string_view key);
+
+  private:
+    struct PageHdr {
+        uint32_t nextOverflow;  // 0 = none
+        uint16_t nRecords;
+        uint16_t freeOff;       // next free byte within the page
+    };
+
+    static constexpr uint16_t kTombKey = 0xffff;
+    static constexpr size_t kHdrBytes = sizeof(PageHdr);
+
+    uint64_t hashOf(std::string_view key) const;
+    uint32_t bucketPage(std::string_view key) const;
+
+    /** Find (page, offset) of a live record with this key; 0 if none. */
+    bool find(std::string_view key, uint32_t *page_no, uint32_t *off,
+              uint16_t *klen, uint16_t *vlen);
+
+    void tombstone(uint32_t page_no, uint32_t off,
+                   const WriteObserver &obs);
+    void append(uint32_t first_page, std::string_view key,
+                std::string_view val, const WriteObserver &obs);
+
+    Pager &pager_;
+    uint32_t nbuckets_;
+    std::vector<std::mutex> locks_;
+    std::mutex allocMu_;
+};
+
+} // namespace mnemosyne::storage
+
+#endif // MNEMOSYNE_STORAGE_HASH_AM_H_

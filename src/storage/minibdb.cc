@@ -1,0 +1,146 @@
+#include "storage/minibdb.h"
+
+#include <cstring>
+
+namespace mnemosyne::storage {
+
+MiniBdb::MiniBdb(pcmdisk::MiniFs &fs, const std::string &prefix,
+                 MiniBdbConfig cfg)
+    : fs_(fs), cfg_(cfg)
+{
+    const std::string db_file = prefix + ".db";
+    const std::string log_file = prefix + ".log";
+    const bool fresh = !fs_.exists(db_file);
+
+    pager_ = std::make_unique<Pager>(fs_, db_file);
+    wal_ = std::make_unique<Wal>(fs_, log_file);
+    am_ = std::make_unique<HashAm>(*pager_, cfg_.nbuckets);
+
+    if (fresh) {
+        am_->create();
+        pager_->flushAll();
+        return;
+    }
+
+    // Crash recovery: redo the page updates of committed transactions
+    // in log order, checkpoint, truncate.
+    recovered_ = wal_->replay([&](uint32_t, uint32_t page_no, uint32_t off,
+                                  uint32_t len, const uint8_t *after) {
+        uint8_t *page = pager_->fetch(page_no);
+        std::memcpy(page + off, after, len);
+        pager_->markDirty(page_no);
+    });
+    am_->open();
+    if (recovered_ > 0)
+        checkpoint();
+}
+
+HashAm::WriteObserver
+MiniBdb::observerFor(uint32_t txid)
+{
+    if (!cfg_.transactional)
+        return nullptr;
+    return [this, txid](uint32_t page_no, uint32_t off, uint32_t len,
+                        const uint8_t *bytes, bool after) {
+        if (after) {
+            wal_->logUpdate(Wal::UpdateRec{txid, page_no, off, len, bytes});
+        } else {
+            std::lock_guard<std::mutex> g(undoMu_);
+            auto &regions = undo_[txid];
+            regions.push_back(
+                UndoRegion{page_no, off,
+                           std::vector<uint8_t>(bytes, bytes + len)});
+        }
+    };
+}
+
+uint32_t
+MiniBdb::begin()
+{
+    return nextTxid_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MiniBdb::commit(uint32_t txid)
+{
+    if (cfg_.transactional)
+        wal_->logCommitAndSync(txid);
+    {
+        std::lock_guard<std::mutex> g(undoMu_);
+        undo_.erase(txid);
+    }
+    nCommits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MiniBdb::abort(uint32_t txid)
+{
+    std::vector<UndoRegion> regions;
+    {
+        std::lock_guard<std::mutex> g(undoMu_);
+        auto it = undo_.find(txid);
+        if (it != undo_.end()) {
+            regions = std::move(it->second);
+            undo_.erase(it);
+        }
+    }
+    // Apply before-images newest-first.
+    for (auto it = regions.rbegin(); it != regions.rend(); ++it) {
+        uint8_t *page = pager_->fetch(it->pageNo);
+        std::memcpy(page + it->off, it->before.data(), it->before.size());
+        pager_->markDirty(it->pageNo);
+    }
+    nAborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MiniBdb::put(uint32_t txid, std::string_view key, std::string_view val)
+{
+    std::lock_guard<std::mutex> g(am_->bucketLock(key));
+    am_->put(key, val, observerFor(txid));
+    nPuts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+MiniBdb::del(uint32_t txid, std::string_view key)
+{
+    std::lock_guard<std::mutex> g(am_->bucketLock(key));
+    const bool hit = am_->del(key, observerFor(txid));
+    if (hit)
+        nDels_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+}
+
+bool
+MiniBdb::get(std::string_view key, std::string *val)
+{
+    return am_->get(key, val);
+}
+
+void
+MiniBdb::flush()
+{
+    pager_->flushAll();
+}
+
+void
+MiniBdb::checkpoint()
+{
+    pager_->flushAll();
+    if (cfg_.transactional)
+        wal_->truncate();
+}
+
+MiniBdbStats
+MiniBdb::stats() const
+{
+    MiniBdbStats s;
+    s.puts = nPuts_.load(std::memory_order_relaxed);
+    s.dels = nDels_.load(std::memory_order_relaxed);
+    s.commits = nCommits_.load(std::memory_order_relaxed);
+    s.aborts = nAborts_.load(std::memory_order_relaxed);
+    s.recovered_txns = recovered_;
+    return s;
+}
+
+} // namespace mnemosyne::storage

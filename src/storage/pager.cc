@@ -1,0 +1,90 @@
+#include "storage/pager.h"
+
+#include <cstring>
+
+namespace mnemosyne::storage {
+
+Pager::Pager(pcmdisk::MiniFs &fs, const std::string &file_name) : fs_(fs)
+{
+    fd_ = fs_.open(file_name);
+    pageCount_ = uint32_t((fs_.size(fd_) + kDbPageBytes - 1) / kDbPageBytes);
+}
+
+uint8_t *
+Pager::fetch(uint32_t page_no)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = pool_.find(page_no);
+    if (it != pool_.end())
+        return it->second.data.get();
+    Page p;
+    p.data = std::make_unique<uint8_t[]>(kDbPageBytes);
+    if (uint64_t(page_no) * kDbPageBytes < fs_.size(fd_)) {
+        fs_.pread(fd_, p.data.get(), kDbPageBytes,
+                  uint64_t(page_no) * kDbPageBytes);
+    } else {
+        std::memset(p.data.get(), 0, kDbPageBytes);
+    }
+    auto *raw = p.data.get();
+    pool_.emplace(page_no, std::move(p));
+    if (page_no >= pageCount_)
+        pageCount_ = page_no + 1;
+    return raw;
+}
+
+void
+Pager::markDirty(uint32_t page_no)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = pool_.find(page_no);
+    if (it != pool_.end())
+        it->second.dirty = true;
+}
+
+uint32_t
+Pager::allocPage()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const uint32_t page_no = pageCount_++;
+    Page p;
+    p.data = std::make_unique<uint8_t[]>(kDbPageBytes);
+    std::memset(p.data.get(), 0, kDbPageBytes);
+    p.dirty = true;
+    pool_.emplace(page_no, std::move(p));
+    return page_no;
+}
+
+uint32_t
+Pager::pageCount() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return pageCount_;
+}
+
+void
+Pager::flushAll()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto &[page_no, page] : pool_) {
+        if (!page.dirty)
+            continue;
+        fs_.pwrite(fd_, page.data.get(), kDbPageBytes,
+                   uint64_t(page_no) * kDbPageBytes);
+        page.dirty = false;
+    }
+    fs_.fsync(fd_);
+}
+
+size_t
+Pager::dirtyCount() const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    size_t n = 0;
+    for (const auto &[page_no, page] : pool_) {
+        (void)page_no;
+        n += page.dirty;
+    }
+    return n;
+}
+
+} // namespace mnemosyne::storage

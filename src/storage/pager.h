@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Buffer pool / pager for the MiniBdb storage manager.
+ *
+ * The paper configures Berkeley DB with "cache sizes large enough to
+ * avoid evictions due to capacity" (section 6.2), so this pager keeps
+ * every fetched page cached (no-steal, no-force): dirty pages reach the
+ * PCM-disk only at an explicit checkpoint or through WAL replay after a
+ * crash.
+ */
+
+#ifndef MNEMOSYNE_STORAGE_PAGER_H_
+#define MNEMOSYNE_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pcmdisk/minifs.h"
+
+namespace mnemosyne::storage {
+
+/** MiniBdb pages are 8 KB (two PCM-disk blocks), so a maximum-size
+ *  benchmark record (4 KB value) fits in one bucket page. */
+inline constexpr size_t kDbPageBytes = 8192;
+
+class Pager
+{
+  public:
+    Pager(pcmdisk::MiniFs &fs, const std::string &file_name);
+
+    Pager(const Pager &) = delete;
+    Pager &operator=(const Pager &) = delete;
+
+    /** Fetch a page, reading it from the PCM-disk on first touch. */
+    uint8_t *fetch(uint32_t page_no);
+
+    void markDirty(uint32_t page_no);
+
+    /** Append a fresh zero page to the file; returns its number. */
+    uint32_t allocPage();
+
+    uint32_t pageCount() const;
+
+    /** Checkpoint: write every dirty page out and fsync. */
+    void flushAll();
+
+    size_t dirtyCount() const;
+
+  private:
+    struct Page {
+        std::unique_ptr<uint8_t[]> data;
+        bool dirty = false;
+    };
+
+    pcmdisk::MiniFs &fs_;
+    int fd_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint32_t, Page> pool_;
+    uint32_t pageCount_ = 0;
+};
+
+} // namespace mnemosyne::storage
+
+#endif // MNEMOSYNE_STORAGE_PAGER_H_

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the PCM-disk block-device emulator and the MiniFs file
+ * layer: data paths, the latency model, and sync/torn-write crash
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pcmdisk/minifs.h"
+#include "pcmdisk/pcmdisk.h"
+
+namespace pcm = mnemosyne::pcmdisk;
+namespace scm = mnemosyne::scm;
+using pcm::MiniFs;
+using pcm::PcmDisk;
+
+namespace {
+
+pcm::PcmDiskConfig
+cfg()
+{
+    pcm::PcmDiskConfig c;
+    c.capacity_bytes = 16 << 20;
+    return c;
+}
+
+std::vector<uint8_t>
+pattern(uint8_t seed)
+{
+    std::vector<uint8_t> b(pcm::kBlockBytes);
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = uint8_t(seed + i);
+    return b;
+}
+
+} // namespace
+
+TEST(PcmDisk, WriteReadRoundTrip)
+{
+    PcmDisk d(cfg());
+    const auto b = pattern(1);
+    d.writeBlock(5, b.data());
+    std::vector<uint8_t> out(pcm::kBlockBytes);
+    d.readBlock(5, out.data());
+    EXPECT_EQ(out, b);
+}
+
+TEST(PcmDisk, UnsyncedWriteLostOnCrashWhenNotTorn)
+{
+    auto c = cfg();
+    c.torn_block_writes = false;
+    PcmDisk d(c);
+    const auto b = pattern(2);
+    d.writeBlock(3, b.data());
+    d.crash();
+    std::vector<uint8_t> out(pcm::kBlockBytes, 1);
+    d.readBlock(3, out.data());
+    EXPECT_EQ(out, std::vector<uint8_t>(pcm::kBlockBytes, 0));
+}
+
+TEST(PcmDisk, SyncedWriteSurvivesCrash)
+{
+    PcmDisk d(cfg());
+    const auto b = pattern(3);
+    d.writeBlock(3, b.data());
+    d.sync();
+    d.crash();
+    std::vector<uint8_t> out(pcm::kBlockBytes);
+    d.readBlock(3, out.data());
+    EXPECT_EQ(out, b);
+}
+
+TEST(PcmDisk, CrashCanTearUnsyncedBlocks)
+{
+    // With torn writes enabled, some seed must yield a block that is
+    // neither all-old nor all-new (mixed sectors).
+    bool saw_torn = false;
+    for (uint64_t seed = 0; seed < 32 && !saw_torn; ++seed) {
+        auto c = cfg();
+        c.crash_seed = seed;
+        PcmDisk d(c);
+        const auto b = pattern(7);
+        d.writeBlock(0, b.data());
+        d.crash();
+        std::vector<uint8_t> out(pcm::kBlockBytes);
+        d.readBlock(0, out.data());
+        size_t new_sectors = 0;
+        for (size_t s = 0; s < pcm::kBlockBytes / pcm::kSectorBytes; ++s) {
+            if (std::memcmp(out.data() + s * pcm::kSectorBytes,
+                            b.data() + s * pcm::kSectorBytes,
+                            pcm::kSectorBytes) == 0) {
+                ++new_sectors;
+            }
+        }
+        if (new_sectors != 0 &&
+            new_sectors != pcm::kBlockBytes / pcm::kSectorBytes) {
+            saw_torn = true;
+        }
+    }
+    EXPECT_TRUE(saw_torn);
+}
+
+TEST(PcmDisk, LatencyModelChargesOverheadAndBandwidth)
+{
+    auto c = cfg();
+    c.latency_mode = scm::LatencyMode::kVirtual;
+    c.request_overhead_ns = 10000;
+    c.write_latency_ns = 150;
+    c.write_bandwidth_bytes_per_us = 4096;
+    PcmDisk d(c);
+    const auto b = pattern(4);
+    d.writeBlock(0, b.data());
+    d.sync();
+    // 10000 (stack) + 150 (completion) + 4096 B at 4096 B/us = 1000 ns.
+    EXPECT_EQ(d.stats().delay_ns, 11150u);
+}
+
+TEST(MiniFs, WriteReadAcrossBlockBoundary)
+{
+    PcmDisk d(cfg());
+    MiniFs fs(d);
+    const int fd = fs.open("a");
+    std::string data(10000, 'x');
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = char('a' + i % 26);
+    fs.pwrite(fd, data.data(), data.size(), 100);
+    EXPECT_EQ(fs.size(fd), 10100u);
+
+    std::string out(10000, 0);
+    EXPECT_EQ(fs.pread(fd, out.data(), out.size(), 100), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(MiniFs, ReadPastEofIsShort)
+{
+    PcmDisk d(cfg());
+    MiniFs fs(d);
+    const int fd = fs.open("a");
+    fs.pwrite(fd, "hello", 5, 0);
+    char buf[16];
+    EXPECT_EQ(fs.pread(fd, buf, sizeof(buf), 0), 5u);
+    EXPECT_EQ(fs.pread(fd, buf, sizeof(buf), 5), 0u);
+}
+
+TEST(MiniFs, FsyncMakesDataDurable)
+{
+    auto c = cfg();
+    c.torn_block_writes = false;
+    PcmDisk d(c);
+    MiniFs fs(d);
+    const int fd = fs.open("a");
+    fs.pwrite(fd, "durable", 7, 0);
+    fs.fsync(fd);
+    fs.pwrite(fd, "volatile", 8, 100);
+    d.crash();
+    char buf[8] = {};
+    fs.pread(fd, buf, 7, 0);
+    EXPECT_STREQ(buf, "durable");
+    char buf2[9] = {};
+    fs.pread(fd, buf2, 8, 100);
+    EXPECT_STRNE(buf2, "volatile") << "unsynced write must not survive";
+}
+
+TEST(MiniFs, TruncateAndReuse)
+{
+    PcmDisk d(cfg());
+    MiniFs fs(d);
+    const int fd = fs.open("a");
+    std::vector<uint8_t> big(100 * pcm::kBlockBytes, 0xaa);
+    fs.pwrite(fd, big.data(), big.size(), 0);
+    fs.ftruncate(fd, 0);
+    EXPECT_EQ(fs.size(fd), 0u);
+    // The freed blocks are reusable by another file.
+    const int fd2 = fs.open("b");
+    fs.pwrite(fd2, big.data(), big.size(), 0);
+    EXPECT_EQ(fs.size(fd2), big.size());
+}
+
+TEST(MiniFs, UnlinkRemovesFile)
+{
+    PcmDisk d(cfg());
+    MiniFs fs(d);
+    fs.open("a");
+    EXPECT_TRUE(fs.exists("a"));
+    fs.unlink("a");
+    EXPECT_FALSE(fs.exists("a"));
+}
+
+TEST(MiniFs, DiskFullThrows)
+{
+    auto c = cfg();
+    c.capacity_bytes = 64 * pcm::kBlockBytes;
+    PcmDisk d(c);
+    MiniFs fs(d);
+    const int fd = fs.open("a");
+    std::vector<uint8_t> big(65 * pcm::kBlockBytes, 1);
+    EXPECT_THROW(fs.pwrite(fd, big.data(), big.size(), 0),
+                 std::runtime_error);
+}

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the region manager and the libmnemosyne region layer:
+ * persistent regions survive restarts at fixed addresses, the region
+ * table behaves as an intention log, pstatic variables initialize once,
+ * and SCM-zone residency/eviction bookkeeping works.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "region/pstatic.h"
+#include "region/region_manager.h"
+#include "region/region_table.h"
+#include "scm/scm.h"
+#include "tests/test_util.h"
+
+namespace scm = mnemosyne::scm;
+namespace region = mnemosyne::region;
+using mnemosyne::test::TempDir;
+using mnemosyne::test::smallRegionConfig;
+using region::RegionLayer;
+using region::RegionManager;
+
+namespace {
+
+scm::ScmConfig
+scmCfg()
+{
+    scm::ScmConfig c;
+    c.crash_mode = scm::CrashPersistMode::kDropUnfenced;
+    return c;
+}
+
+} // namespace
+
+TEST(RegionManager, MapsAtRequestedFixedAddress)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+
+    const uintptr_t want = mgr.firstUsableVa();
+    void *addr = mgr.mapFile("r0.mem", 64 * 1024, want);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(addr), want);
+    std::memset(addr, 0xab, 64 * 1024);
+    mgr.unmapFile(want, 64 * 1024);
+}
+
+TEST(RegionManager, DataSurvivesUnmapAndRemap)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+
+    const uintptr_t at = mgr.firstUsableVa();
+    auto *p = static_cast<uint64_t *>(mgr.mapFile("r0.mem", 4096, at));
+    p[0] = 0xdeadbeef;
+    mgr.unmapFile(at, 4096);
+    p = static_cast<uint64_t *>(mgr.mapFile("r0.mem", 4096, at));
+    EXPECT_EQ(p[0], 0xdeadbeefULL);
+}
+
+TEST(RegionManager, DataSurvivesManagerRestart)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    uintptr_t at = 0;
+    {
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        at = mgr.firstUsableVa();
+        auto *p = static_cast<uint64_t *>(mgr.mapFile("r0.mem", 8192, at));
+        p[0] = 123456789;
+        p[8191 / 8] = 42;
+    }
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    auto *p = static_cast<uint64_t *>(mgr.mapFile("r0.mem", 8192, at));
+    EXPECT_EQ(p[0], 123456789ULL);
+    EXPECT_EQ(p[8191 / 8], 42ULL);
+    EXPECT_TRUE(mgr.existedBefore("r0.mem"));
+}
+
+TEST(RegionManager, MappingTableTracksResidency)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+
+    const auto before = mgr.zoneStats();
+    mgr.mapFile("r0.mem", 16 * region::kPageSize, mgr.firstUsableVa());
+    const auto after = mgr.zoneStats();
+    EXPECT_EQ(after.frames_resident, before.frames_resident + 16);
+    EXPECT_GE(after.faults, before.faults + 16);
+}
+
+TEST(RegionManager, EvictionWritesBackAndFreesFrames)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+
+    const uintptr_t at = mgr.firstUsableVa();
+    auto *p = static_cast<uint8_t *>(
+        mgr.mapFile("r0.mem", 8 * region::kPageSize, at));
+    std::memset(p, 0x5a, 8 * region::kPageSize);
+    mgr.evictRange(at, 8 * region::kPageSize);
+    const auto s = mgr.zoneStats();
+    EXPECT_GE(s.evictions, 8u);
+    // Data must still read back (major fault from the backing file).
+    EXPECT_EQ(p[0], 0x5a);
+    EXPECT_EQ(p[8 * region::kPageSize - 1], 0x5a);
+}
+
+TEST(RegionManager, CapacityPressureEvictsLru)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    auto cfg = smallRegionConfig(dir.path());
+    cfg.scm_capacity = 64 * region::kPageSize; // tiny zone: 64 frames
+    RegionManager mgr(cfg);
+
+    // The metadata table floor plus two 40-page regions exceed 64 frames,
+    // forcing evictions.
+    const uintptr_t at = mgr.firstUsableVa();
+    mgr.mapFile("r0.mem", 40 * region::kPageSize, at);
+    mgr.mapFile("r1.mem", 40 * region::kPageSize,
+                at + 64 * region::kPageSize);
+    EXPECT_GT(mgr.zoneStats().evictions, 0u);
+    EXPECT_LE(mgr.zoneStats().frames_resident, 64u);
+}
+
+TEST(RegionManager, BootReconstructRebuildsDescriptors)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    mgr.mapFile("r0.mem", 16 * region::kPageSize, mgr.firstUsableVa());
+    const auto before = mgr.zoneStats();
+    const size_t scanned = mgr.bootReconstruct();
+    const auto after = mgr.zoneStats();
+    EXPECT_EQ(scanned, before.frames_total);
+    EXPECT_EQ(after.frames_resident, before.frames_resident);
+}
+
+TEST(RegionLayer, PmapReturnsFixedAddressAcrossRestart)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    void *addr1;
+    {
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        RegionLayer rl(mgr);
+        EXPECT_TRUE(rl.firstRun());
+        addr1 = rl.pmap(nullptr, 64 * 1024);
+        static_cast<uint64_t *>(addr1)[0] = 77;
+        c.persistAll();
+    }
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    EXPECT_FALSE(rl.firstRun());
+    const auto regions = rl.regions();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].addr, addr1);
+    EXPECT_EQ(static_cast<uint64_t *>(addr1)[0], 77ULL);
+}
+
+TEST(RegionLayer, PmapStoresAddressIntoPersistentSlot)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+
+    auto **slot = static_cast<void **>(
+        rl.pstaticVar("root", sizeof(void *), nullptr));
+    void *addr = rl.pmap(slot, 4096);
+    EXPECT_EQ(*slot, addr);
+}
+
+TEST(RegionLayer, PunmapRemovesRegionAndBackingData)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+
+    void *addr = rl.pmap(nullptr, 4096);
+    static_cast<uint64_t *>(addr)[0] = 99;
+    rl.punmap(addr, 4096);
+    EXPECT_TRUE(rl.regions().empty());
+
+    // A new region reusing the slot must start zeroed.
+    void *addr2 = rl.pmap(nullptr, 4096);
+    EXPECT_EQ(static_cast<uint64_t *>(addr2)[0], 0ULL);
+}
+
+TEST(RegionLayer, IntentionLogDestroysPartialRegionOnRecovery)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    {
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        RegionLayer rl(mgr);
+        rl.pmap(nullptr, 4096);
+        c.persistAll();
+        // Simulate a crash between the intent record and the valid flag:
+        // forge the first entry's state back to "intent".  The entry
+        // layout is private, so drive it through the public pmap path of
+        // a second region and crash before its valid flag is durable.
+        scm::ctx().setWriteHook(
+            [&](uint64_t, scm::ScmContext::Event ev, const void *, size_t) {
+                static int fences = 0;
+                if (ev == scm::ScmContext::Event::kFence && ++fences == 2)
+                    throw scm::CrashNow{};
+            });
+        EXPECT_THROW(rl.pmap(nullptr, 4096), scm::CrashNow);
+        scm::ctx().setWriteHook(nullptr);
+        c.crash();
+    }
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    // Only the fully created region survives.
+    EXPECT_EQ(rl.regions().size(), 1u);
+}
+
+// Crash-point sweep over the pmap intention-log protocol: at every
+// injected crash point (under adversarial write loss), recovery yields
+// either no region or a fully usable one — never a half-created entry.
+class PmapCrashSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PmapCrashSweep, RegionAllOrNothing)
+{
+    const uint64_t seed = GetParam();
+    TempDir dir;
+    {
+        scm::ScmConfig sc;
+        sc.crash_mode = scm::CrashPersistMode::kRandomSubset;
+        sc.crash_seed = seed;
+        scm::ScmContext c(sc);
+        scm::ScopedCtx guard(c);
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        RegionLayer rl(mgr);
+        c.persistAll();
+        bool crashed = false;
+        try {
+            scm::ScmContext::WriteHook hook =
+                [&, fire = c.eventCount() + 1 + seed % 12,
+                 done = false](uint64_t n, scm::ScmContext::Event,
+                               const void *, size_t) mutable {
+                    if (!done && n >= fire) {
+                        done = true;
+                        throw scm::CrashNow{n};
+                    }
+                };
+            c.setWriteHook(hook);
+            rl.pmap(nullptr, 8192);
+        } catch (const scm::CrashNow &) {
+            crashed = true;
+        }
+        c.setWriteHook(nullptr);
+        if (!crashed)
+            return; // pmap completed before the crash point: trivially ok
+        c.crash(true);
+    }
+    scm::ScmContext c2{scm::ScmConfig{}};
+    scm::ScopedCtx guard2(c2);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    const auto regions = rl.regions();
+    ASSERT_LE(regions.size(), 1u) << "seed " << seed;
+    if (!regions.empty()) {
+        // A surviving region must be fully usable.
+        auto *p = static_cast<uint64_t *>(regions[0].addr);
+        p[0] = 0x1234;
+        EXPECT_EQ(p[0], 0x1234u);
+        EXPECT_EQ(regions[0].len, 8192u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, PmapCrashSweep,
+                         ::testing::Range<uint64_t>(0, 24));
+
+TEST(RegionLayer, PstaticInitializesOnceAndPersists)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    {
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        RegionLayer rl(mgr);
+        auto *v = static_cast<uint64_t *>(
+            rl.pstaticVar("counter", 8, nullptr));
+        EXPECT_EQ(*v, 0ULL);
+        scm::ctx().wtstoreT(v, uint64_t(5));
+        scm::ctx().fence();
+        c.persistAll();
+    }
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    auto *v = static_cast<uint64_t *>(rl.pstaticVar("counter", 8, nullptr));
+    EXPECT_EQ(*v, 5ULL) << "pstatic variable must retain its value";
+}
+
+TEST(RegionLayer, PstaticInitialValueApplied)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    const uint64_t init = 0xfeedface;
+    auto *v = static_cast<uint64_t *>(rl.pstaticVar("x", 8, &init));
+    EXPECT_EQ(*v, init);
+}
+
+TEST(RegionLayer, PstaticSizeChangeIsAnError)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    rl.pstaticVar("x", 8, nullptr);
+    EXPECT_THROW(rl.pstaticVar("x", 16, nullptr), std::runtime_error);
+}
+
+TEST(RegionLayer, IsPersistentRangeCheck)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    void *addr = rl.pmap(nullptr, 4096);
+    int local;
+    EXPECT_TRUE(rl.isPersistent(addr));
+    EXPECT_FALSE(rl.isPersistent(&local));
+}
+
+TEST(PStatic, ResolvesThroughCurrentLayer)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    region::setCurrentRegionLayer(&rl);
+
+    region::PStatic<uint64_t> counter("pstatic_counter", 10);
+    EXPECT_EQ(*counter, 10ULL);
+    *counter += 1;
+    EXPECT_EQ(*counter, 11ULL);
+    region::setCurrentRegionLayer(nullptr);
+}
+
+TEST(PStatic, RebindsAfterRuntimeRestart)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    region::PStatic<uint64_t> boots("boot_count", 0);
+    for (int run = 0; run < 3; ++run) {
+        RegionManager mgr(smallRegionConfig(dir.path()));
+        RegionLayer rl(mgr);
+        region::setCurrentRegionLayer(&rl);
+        EXPECT_EQ(*boots, uint64_t(run));
+        scm::ctx().wtstoreT(boots.get(), uint64_t(run + 1));
+        scm::ctx().fence();
+        region::setCurrentRegionLayer(nullptr);
+        c.persistAll();
+    }
+}
+
+TEST(Pptr, AcceptsPersistentRejectsNothingWhenNoLayer)
+{
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    region::setCurrentRegionLayer(&rl);
+
+    auto *addr = static_cast<uint64_t *>(rl.pmap(nullptr, 4096));
+    region::pptr<uint64_t> p;
+    p = addr;             // persistent target: OK
+    EXPECT_EQ(p.get(), addr);
+    *p = 7;
+    EXPECT_EQ(*p, 7ULL);
+    region::setCurrentRegionLayer(nullptr);
+}
+
+#ifndef NDEBUG
+TEST(PptrDeathTest, RejectsVolatileTarget)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    RegionManager mgr(smallRegionConfig(dir.path()));
+    RegionLayer rl(mgr);
+    region::setCurrentRegionLayer(&rl);
+    static uint64_t volatile_word;
+    region::pptr<uint64_t> p;
+    EXPECT_DEATH(p = &volatile_word, "volatile");
+    region::setCurrentRegionLayer(nullptr);
+}
+#endif

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the binary serialization archives (the Boost stand-in used
+ * by the Table 5 baseline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pcmdisk/minifs.h"
+#include "pcmdisk/pcmdisk.h"
+#include "serialize/archive.h"
+
+namespace pcm = mnemosyne::pcmdisk;
+namespace ser = mnemosyne::serialize;
+using ser::IArchive;
+using ser::OArchive;
+
+namespace {
+
+struct Point {
+    int32_t x = 0, y = 0;
+
+    template <typename Archive>
+    void
+    serialize(Archive &ar, unsigned)
+    {
+        ar &x &y;
+    }
+};
+
+struct Doc {
+    std::string title;
+    std::vector<Point> points;
+    std::vector<std::pair<std::string, uint64_t>> attrs;
+
+    template <typename Archive>
+    void
+    serialize(Archive &ar, unsigned)
+    {
+        ar &title &points &attrs;
+    }
+};
+
+} // namespace
+
+TEST(Serialize, PrimitivesRoundTrip)
+{
+    OArchive oa;
+    uint64_t a = 0x1122334455667788ULL;
+    double b = 3.25;
+    bool c = true;
+    oa &a &b &c;
+
+    IArchive ia(oa.buffer());
+    uint64_t a2;
+    double b2;
+    bool c2;
+    ia &a2 &b2 &c2;
+    EXPECT_EQ(a2, a);
+    EXPECT_EQ(b2, b);
+    EXPECT_EQ(c2, c);
+}
+
+TEST(Serialize, NestedStructuresRoundTrip)
+{
+    Doc d;
+    d.title = "mnemosyne";
+    d.points = {{1, 2}, {3, 4}, {-5, 6}};
+    d.attrs = {{"cn", 42}, {"sn", 7}};
+
+    OArchive oa;
+    oa &d;
+    IArchive ia(oa.buffer());
+    Doc d2;
+    ia &d2;
+    EXPECT_EQ(d2.title, d.title);
+    ASSERT_EQ(d2.points.size(), 3u);
+    EXPECT_EQ(d2.points[2].x, -5);
+    ASSERT_EQ(d2.attrs.size(), 2u);
+    EXPECT_EQ(d2.attrs[0].first, "cn");
+    EXPECT_EQ(d2.attrs[0].second, 42u);
+}
+
+TEST(Serialize, BadMagicRejected)
+{
+    std::vector<uint8_t> junk(64, 0xee);
+    EXPECT_THROW(IArchive{junk}, std::runtime_error);
+}
+
+TEST(Serialize, TruncatedArchiveRejected)
+{
+    OArchive oa;
+    std::string s(100, 'q');
+    oa &s;
+    auto buf = oa.buffer();
+    buf.resize(buf.size() - 10);
+    IArchive ia(std::move(buf));
+    std::string out;
+    EXPECT_THROW(ia &out, std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTripThroughPcmDisk)
+{
+    pcm::PcmDiskConfig cfg;
+    cfg.capacity_bytes = 8 << 20;
+    pcm::PcmDisk disk(cfg);
+    pcm::MiniFs fs(disk);
+
+    Doc d;
+    d.title = "saved";
+    d.points.assign(1000, Point{9, 9});
+    OArchive oa;
+    oa &d;
+    oa.saveToFile(fs, "doc.bin");
+    disk.crash(); // fsync'd: the archive must survive
+
+    auto ia = IArchive::loadFromFile(fs, "doc.bin");
+    Doc d2;
+    ia &d2;
+    EXPECT_EQ(d2.title, "saved");
+    EXPECT_EQ(d2.points.size(), 1000u);
+}
