@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_async_trunc"
+  "../bench/bench_fig6_async_trunc.pdb"
+  "CMakeFiles/bench_fig6_async_trunc.dir/bench_fig6_async_trunc.cc.o"
+  "CMakeFiles/bench_fig6_async_trunc.dir/bench_fig6_async_trunc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_async_trunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

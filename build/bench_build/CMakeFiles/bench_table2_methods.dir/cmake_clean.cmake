@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_methods"
+  "../bench/bench_table2_methods.pdb"
+  "CMakeFiles/bench_table2_methods.dir/bench_table2_methods.cc.o"
+  "CMakeFiles/bench_table2_methods.dir/bench_table2_methods.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_openldap"
+  "../bench/bench_table4_openldap.pdb"
+  "CMakeFiles/bench_table4_openldap.dir/bench_table4_openldap.cc.o"
+  "CMakeFiles/bench_table4_openldap.dir/bench_table4_openldap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_openldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

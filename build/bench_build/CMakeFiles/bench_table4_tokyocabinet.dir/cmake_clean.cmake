@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_tokyocabinet"
+  "../bench/bench_table4_tokyocabinet.pdb"
+  "CMakeFiles/bench_table4_tokyocabinet.dir/bench_table4_tokyocabinet.cc.o"
+  "CMakeFiles/bench_table4_tokyocabinet.dir/bench_table4_tokyocabinet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tokyocabinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_serialization"
+  "../bench/bench_table5_serialization.pdb"
+  "CMakeFiles/bench_table5_serialization.dir/bench_table5_serialization.cc.o"
+  "CMakeFiles/bench_table5_serialization.dir/bench_table5_serialization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

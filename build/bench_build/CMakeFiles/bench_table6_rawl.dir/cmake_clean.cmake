@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_rawl"
+  "../bench/bench_table6_rawl.pdb"
+  "CMakeFiles/bench_table6_rawl.dir/bench_table6_rawl.cc.o"
+  "CMakeFiles/bench_table6_rawl.dir/bench_table6_rawl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_rawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_txn_costs"
+  "../bench/bench_txn_costs.pdb"
+  "CMakeFiles/bench_txn_costs.dir/bench_txn_costs.cc.o"
+  "CMakeFiles/bench_txn_costs.dir/bench_txn_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txn_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_server.dir/directory_server.cpp.o"
+  "CMakeFiles/directory_server.dir/directory_server.cpp.o.d"
+  "directory_server"
+  "directory_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

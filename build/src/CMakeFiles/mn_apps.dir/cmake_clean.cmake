@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_apps.dir/apps/ldap_backends.cc.o"
+  "CMakeFiles/mn_apps.dir/apps/ldap_backends.cc.o.d"
+  "CMakeFiles/mn_apps.dir/apps/ldap_server.cc.o"
+  "CMakeFiles/mn_apps.dir/apps/ldap_server.cc.o.d"
+  "CMakeFiles/mn_apps.dir/apps/ldif_workload.cc.o"
+  "CMakeFiles/mn_apps.dir/apps/ldif_workload.cc.o.d"
+  "CMakeFiles/mn_apps.dir/apps/tokyo_mini.cc.o"
+  "CMakeFiles/mn_apps.dir/apps/tokyo_mini.cc.o.d"
+  "libmn_apps.a"
+  "libmn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

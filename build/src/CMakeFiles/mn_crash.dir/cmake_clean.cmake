@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_crash.dir/crash/crash_harness.cc.o"
+  "CMakeFiles/mn_crash.dir/crash/crash_harness.cc.o.d"
+  "libmn_crash.a"
+  "libmn_crash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_crash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

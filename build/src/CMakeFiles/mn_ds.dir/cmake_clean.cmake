@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_ds.dir/ds/pavl_tree.cc.o"
+  "CMakeFiles/mn_ds.dir/ds/pavl_tree.cc.o.d"
+  "CMakeFiles/mn_ds.dir/ds/pbp_tree.cc.o"
+  "CMakeFiles/mn_ds.dir/ds/pbp_tree.cc.o.d"
+  "CMakeFiles/mn_ds.dir/ds/phash_table.cc.o"
+  "CMakeFiles/mn_ds.dir/ds/phash_table.cc.o.d"
+  "CMakeFiles/mn_ds.dir/ds/prb_tree.cc.o"
+  "CMakeFiles/mn_ds.dir/ds/prb_tree.cc.o.d"
+  "CMakeFiles/mn_ds.dir/ds/vrb_tree.cc.o"
+  "CMakeFiles/mn_ds.dir/ds/vrb_tree.cc.o.d"
+  "libmn_ds.a"
+  "libmn_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmn_ds.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/big_alloc.cc" "src/CMakeFiles/mn_heap.dir/heap/big_alloc.cc.o" "gcc" "src/CMakeFiles/mn_heap.dir/heap/big_alloc.cc.o.d"
+  "/root/repo/src/heap/pheap.cc" "src/CMakeFiles/mn_heap.dir/heap/pheap.cc.o" "gcc" "src/CMakeFiles/mn_heap.dir/heap/pheap.cc.o.d"
+  "/root/repo/src/heap/superblock_heap.cc" "src/CMakeFiles/mn_heap.dir/heap/superblock_heap.cc.o" "gcc" "src/CMakeFiles/mn_heap.dir/heap/superblock_heap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mn_region.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mn_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mn_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

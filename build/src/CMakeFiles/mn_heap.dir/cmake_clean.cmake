@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_heap.dir/heap/big_alloc.cc.o"
+  "CMakeFiles/mn_heap.dir/heap/big_alloc.cc.o.d"
+  "CMakeFiles/mn_heap.dir/heap/pheap.cc.o"
+  "CMakeFiles/mn_heap.dir/heap/pheap.cc.o.d"
+  "CMakeFiles/mn_heap.dir/heap/superblock_heap.cc.o"
+  "CMakeFiles/mn_heap.dir/heap/superblock_heap.cc.o.d"
+  "libmn_heap.a"
+  "libmn_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/atomic_redo.cc" "src/CMakeFiles/mn_log.dir/log/atomic_redo.cc.o" "gcc" "src/CMakeFiles/mn_log.dir/log/atomic_redo.cc.o.d"
+  "/root/repo/src/log/commit_record_log.cc" "src/CMakeFiles/mn_log.dir/log/commit_record_log.cc.o" "gcc" "src/CMakeFiles/mn_log.dir/log/commit_record_log.cc.o.d"
+  "/root/repo/src/log/log_manager.cc" "src/CMakeFiles/mn_log.dir/log/log_manager.cc.o" "gcc" "src/CMakeFiles/mn_log.dir/log/log_manager.cc.o.d"
+  "/root/repo/src/log/rawl.cc" "src/CMakeFiles/mn_log.dir/log/rawl.cc.o" "gcc" "src/CMakeFiles/mn_log.dir/log/rawl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mn_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_log.dir/log/atomic_redo.cc.o"
+  "CMakeFiles/mn_log.dir/log/atomic_redo.cc.o.d"
+  "CMakeFiles/mn_log.dir/log/commit_record_log.cc.o"
+  "CMakeFiles/mn_log.dir/log/commit_record_log.cc.o.d"
+  "CMakeFiles/mn_log.dir/log/log_manager.cc.o"
+  "CMakeFiles/mn_log.dir/log/log_manager.cc.o.d"
+  "CMakeFiles/mn_log.dir/log/rawl.cc.o"
+  "CMakeFiles/mn_log.dir/log/rawl.cc.o.d"
+  "libmn_log.a"
+  "libmn_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_mtm.dir/mtm/recovery.cc.o"
+  "CMakeFiles/mn_mtm.dir/mtm/recovery.cc.o.d"
+  "CMakeFiles/mn_mtm.dir/mtm/truncation.cc.o"
+  "CMakeFiles/mn_mtm.dir/mtm/truncation.cc.o.d"
+  "CMakeFiles/mn_mtm.dir/mtm/txn.cc.o"
+  "CMakeFiles/mn_mtm.dir/mtm/txn.cc.o.d"
+  "CMakeFiles/mn_mtm.dir/mtm/txn_manager.cc.o"
+  "CMakeFiles/mn_mtm.dir/mtm/txn_manager.cc.o.d"
+  "libmn_mtm.a"
+  "libmn_mtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_mtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

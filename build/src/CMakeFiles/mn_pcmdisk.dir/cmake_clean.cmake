@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_pcmdisk.dir/pcmdisk/minifs.cc.o"
+  "CMakeFiles/mn_pcmdisk.dir/pcmdisk/minifs.cc.o.d"
+  "CMakeFiles/mn_pcmdisk.dir/pcmdisk/pcmdisk.cc.o"
+  "CMakeFiles/mn_pcmdisk.dir/pcmdisk/pcmdisk.cc.o.d"
+  "libmn_pcmdisk.a"
+  "libmn_pcmdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_pcmdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mn_pcmdisk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/pstatic.cc" "src/CMakeFiles/mn_region.dir/region/pstatic.cc.o" "gcc" "src/CMakeFiles/mn_region.dir/region/pstatic.cc.o.d"
+  "/root/repo/src/region/region_manager.cc" "src/CMakeFiles/mn_region.dir/region/region_manager.cc.o" "gcc" "src/CMakeFiles/mn_region.dir/region/region_manager.cc.o.d"
+  "/root/repo/src/region/region_table.cc" "src/CMakeFiles/mn_region.dir/region/region_table.cc.o" "gcc" "src/CMakeFiles/mn_region.dir/region/region_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mn_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_region.dir/region/pstatic.cc.o"
+  "CMakeFiles/mn_region.dir/region/pstatic.cc.o.d"
+  "CMakeFiles/mn_region.dir/region/region_manager.cc.o"
+  "CMakeFiles/mn_region.dir/region/region_manager.cc.o.d"
+  "CMakeFiles/mn_region.dir/region/region_table.cc.o"
+  "CMakeFiles/mn_region.dir/region/region_table.cc.o.d"
+  "libmn_region.a"
+  "libmn_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

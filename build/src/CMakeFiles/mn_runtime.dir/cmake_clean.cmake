@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_runtime.dir/runtime/runtime.cc.o"
+  "CMakeFiles/mn_runtime.dir/runtime/runtime.cc.o.d"
+  "libmn_runtime.a"
+  "libmn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

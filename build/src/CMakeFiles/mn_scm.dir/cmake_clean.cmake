@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_scm.dir/scm/latency.cc.o"
+  "CMakeFiles/mn_scm.dir/scm/latency.cc.o.d"
+  "CMakeFiles/mn_scm.dir/scm/scm.cc.o"
+  "CMakeFiles/mn_scm.dir/scm/scm.cc.o.d"
+  "libmn_scm.a"
+  "libmn_scm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_scm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_serialize.dir/serialize/archive.cc.o"
+  "CMakeFiles/mn_serialize.dir/serialize/archive.cc.o.d"
+  "libmn_serialize.a"
+  "libmn_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

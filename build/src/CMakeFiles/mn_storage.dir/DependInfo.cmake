@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/hash_am.cc" "src/CMakeFiles/mn_storage.dir/storage/hash_am.cc.o" "gcc" "src/CMakeFiles/mn_storage.dir/storage/hash_am.cc.o.d"
+  "/root/repo/src/storage/minibdb.cc" "src/CMakeFiles/mn_storage.dir/storage/minibdb.cc.o" "gcc" "src/CMakeFiles/mn_storage.dir/storage/minibdb.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/mn_storage.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/mn_storage.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/mn_storage.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/mn_storage.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mn_pcmdisk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mn_scm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mn_storage.dir/storage/hash_am.cc.o"
+  "CMakeFiles/mn_storage.dir/storage/hash_am.cc.o.d"
+  "CMakeFiles/mn_storage.dir/storage/minibdb.cc.o"
+  "CMakeFiles/mn_storage.dir/storage/minibdb.cc.o.d"
+  "CMakeFiles/mn_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/mn_storage.dir/storage/pager.cc.o.d"
+  "CMakeFiles/mn_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/mn_storage.dir/storage/wal.cc.o.d"
+  "libmn_storage.a"
+  "libmn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

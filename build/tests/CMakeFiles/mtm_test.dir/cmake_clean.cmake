@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtm_test.dir/mtm_test.cc.o"
+  "CMakeFiles/mtm_test.dir/mtm_test.cc.o.d"
+  "mtm_test"
+  "mtm_test.pdb"
+  "mtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcmdisk_test.dir/pcmdisk_test.cc.o"
+  "CMakeFiles/pcmdisk_test.dir/pcmdisk_test.cc.o.d"
+  "pcmdisk_test"
+  "pcmdisk_test.pdb"
+  "pcmdisk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcmdisk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

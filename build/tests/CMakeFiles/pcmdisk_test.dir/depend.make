@@ -1,0 +1,2 @@
+# Empty dependencies file for pcmdisk_test.
+# This may be replaced when dependencies are built.

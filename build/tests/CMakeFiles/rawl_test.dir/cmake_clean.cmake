@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rawl_test.dir/rawl_test.cc.o"
+  "CMakeFiles/rawl_test.dir/rawl_test.cc.o.d"
+  "rawl_test"
+  "rawl_test.pdb"
+  "rawl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rawl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
