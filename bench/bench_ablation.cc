@@ -100,5 +100,6 @@ main()
                 "wins increasingly with value size — the cost of the\n"
                 "   paper's instrument-everything compiler approach is "
                 "the transactional write set, not durability itself.\n");
+    bench::emitStatsJson("ablation");
     return 0;
 }

@@ -83,5 +83,6 @@ main()
                      "delay; bandwidth model accurate to within 4%");
     delayCalibration();
     bandwidthCalibration();
+    bench::emitStatsJson("calibration");
     return 0;
 }

@@ -96,5 +96,6 @@ main()
     std::printf("  4096 B latency: BDB/MTM = %.1fx (paper: < 1x — BDB "
                 "wins at large values)\n",
                 big_ratio);
+    bench::emitStatsJson("fig4_fig5_hashtable");
     return 0;
 }

@@ -89,5 +89,6 @@ main()
     }
     std::printf("\nshape check: async should reduce latency at high idle "
                 "and help least (or hurt) at 10%% idle.\n");
+    bench::emitStatsJson("fig6_async_trunc");
     return 0;
 }

@@ -67,5 +67,6 @@ main()
     std::printf("  near parity for 1024 B at 2000 ns (paper: ~0%%): "
                 "%+.0f%%\n",
                 adv_2000_1k);
+    bench::emitStatsJson("fig7_sensitivity");
     return 0;
 }

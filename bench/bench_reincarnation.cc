@@ -140,5 +140,6 @@ main()
     bootReconstruction();
     processStart();
     txnReplay();
+    bench::emitStatsJson("reincarnation");
     return 0;
 }

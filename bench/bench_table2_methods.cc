@@ -150,5 +150,6 @@ main()
                  ip[2] > sh[2])
                     ? "yes"
                     : "NO");
+    bench::emitStatsJson("table2_methods");
     return 0;
 }

@@ -123,5 +123,6 @@ main()
     std::printf("  standard in-memory structure (AVL) keeps pace with a "
                 "tuned storage engine: %s\n",
                 mnemo_rate >= 0.9 * bdb_rate ? "yes" : "NO");
+    bench::emitStatsJson("table4_openldap");
     return 0;
 }

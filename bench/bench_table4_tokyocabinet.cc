@@ -122,5 +122,6 @@ main()
                 (ms4 / ms64 - 1) * 100);
     std::printf("  msync still below mnemosyne: %s\n",
                 ms4 < mn4 ? "yes" : "NO");
+    bench::emitStatsJson("table4_tokyocabinet");
     return 0;
 }

@@ -93,5 +93,6 @@ main()
 
     std::printf("\nshape check: inserts-per-serialization must grow "
                 "superlinearly with tree size (paper: 189 -> 24788).\n");
+    bench::emitStatsJson("table5_serialization");
     return 0;
 }

@@ -130,4 +130,14 @@ BENCHMARK(BM_HashTableInsert64B);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    bench::emitStatsJson("txn_costs");
+    return 0;
+}

@@ -14,7 +14,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/obs.h"
+#include "obs/stats_registry.h"
 #include "pcmdisk/pcmdisk.h"
 #include "runtime/runtime.h"
 #include "scm/scm.h"
@@ -122,6 +126,40 @@ inline void
 paperNote(const char *note)
 {
     std::printf("paper: %s\n\n", note);
+}
+
+/**
+ * Emit one machine-readable result line when MNEMOSYNE_STATS is on:
+ *
+ *   {"bench":"<name>","metrics":{...},"stats":{"scm.fences":31,...}}
+ *
+ * "metrics" carries the benchmark's headline numbers (ops/sec, MB/s);
+ * "stats" is the full StatsRegistry snapshot, so every BENCH_*.json
+ * trajectory is self-describing about the primitive counts behind it.
+ */
+inline void
+emitStatsJson(
+    const char *bench_name,
+    const std::vector<std::pair<std::string, double>> &metrics = {})
+{
+    if (!obs::enabled())
+        return;
+    std::string line = "{\"bench\":\"";
+    line += bench_name;
+    line += "\",\"metrics\":{";
+    bool first = true;
+    for (const auto &[key, value] : metrics) {
+        if (!first)
+            line += ',';
+        first = false;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key.c_str(), value);
+        line += buf;
+    }
+    line += "},\"stats\":";
+    line += obs::StatsRegistry::instance().jsonSnapshot();
+    line += '}';
+    std::printf("%s\n", line.c_str());
 }
 
 } // namespace mnemosyne::bench

@@ -4,7 +4,29 @@
 #include <new>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/stats_registry.h"
+#include "obs/trace_ring.h"
+
 namespace mnemosyne::heap {
+
+namespace {
+
+struct HeapCounters {
+    obs::Counter pmallocs{"heap.pmallocs"};
+    obs::Counter pfrees{"heap.pfrees"};
+    obs::Counter bytes_requested{"heap.bytes_requested"};
+    obs::Counter small_exhausted{"heap.small_exhausted"};
+};
+
+HeapCounters &
+ctrs()
+{
+    static HeapCounters c;
+    return c;
+}
+
+} // namespace
 
 PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes)
     : rl_(rl)
@@ -30,6 +52,26 @@ PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes)
             throw std::runtime_error("PHeap: corrupt big-block heap");
     }
     initStats_.walked_chunks = big_->rebuildFreeList();
+
+    statsSourceToken_ =
+        obs::StatsRegistry::instance().addSource([this](obs::Sink &sink) {
+            const PHeapStats s = stats();
+            sink.emit("heap.superblocks", uint64_t(s.small.superblocks));
+            sink.emit("heap.small_blocks_allocated",
+                      uint64_t(s.small.blocks_allocated));
+            sink.emit("heap.small_bytes_allocated",
+                      uint64_t(s.small.bytes_allocated));
+            sink.emit("heap.big_chunks_in_use", uint64_t(s.big.chunks_in_use));
+            sink.emit("heap.big_bytes_in_use", uint64_t(s.big.bytes_in_use));
+            sink.emit("heap.scavenged_superblocks",
+                      uint64_t(s.scavenged_superblocks));
+            sink.emit("heap.walked_chunks", uint64_t(s.walked_chunks));
+        });
+}
+
+PHeap::~PHeap()
+{
+    obs::StatsRegistry::instance().removeSource(statsSourceToken_);
 }
 
 void
@@ -38,10 +80,14 @@ PHeap::pmalloc(size_t size, void *pptr)
     assert(pptr != nullptr);
     std::lock_guard<std::mutex> g(mu_);
     auto **slot = static_cast<void **>(pptr);
+    ctrs().pmallocs.add(1);
+    ctrs().bytes_requested.add(size);
+    obs::TraceRing::instance().record(obs::TraceEv::kHeapAlloc, size);
     if (size <= SuperblockHeap::kMaxBlock) {
         if (small_->allocate(size, slot))
             return;
         // Small heap exhausted: fall through to the big allocator.
+        ctrs().small_exhausted.add(1);
     }
     if (!big_->allocate(size, slot))
         throw std::bad_alloc();
@@ -55,6 +101,9 @@ PHeap::pfree(void *pptr)
     auto **slot = static_cast<void **>(pptr);
     void *p = *slot;
     assert(p != nullptr && "pfree of null pointer");
+    ctrs().pfrees.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kHeapFree,
+                                      uintptr_t(p));
     if (small_->owns(p)) {
         small_->free(slot);
     } else if (big_->owns(p)) {

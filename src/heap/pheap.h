@@ -45,6 +45,7 @@ class PHeap
      */
     PHeap(region::RegionLayer &rl, size_t small_bytes = size_t(32) << 20,
           size_t big_bytes = size_t(32) << 20);
+    ~PHeap();
 
     PHeap(const PHeap &) = delete;
     PHeap &operator=(const PHeap &) = delete;
@@ -72,6 +73,7 @@ class PHeap
     std::unique_ptr<BigAlloc> big_;
     PHeapStats initStats_;
     std::mutex mu_;
+    uint64_t statsSourceToken_ = 0;
 };
 
 } // namespace mnemosyne::heap

@@ -3,11 +3,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::log {
 
 namespace {
+
+struct LogMgrCounters {
+    obs::Counter acquires{"log.slot_acquires"};
+    obs::Counter releases{"log.slot_releases"};
+};
+
+LogMgrCounters &
+ctrs()
+{
+    static LogMgrCounters c;
+    return c;
+}
 
 size_t
 alignUp(size_t v, size_t a)
@@ -90,6 +103,7 @@ LogManager::acquire(uint64_t owner_hint)
         c.wtstoreT(&states_[i].ownerHint, owner_hint);
         c.wtstoreT(&states_[i].active, uint64_t(1));
         c.fence();
+        ctrs().acquires.add(1);
         return logs_[i].get();
     }
     throw std::runtime_error("LogManager: out of log slots");
@@ -107,6 +121,7 @@ LogManager::release(Rawl *log)
         c.wtstoreT(&states_[i].active, uint64_t(0));
         c.fence();
         logs_[i].reset();
+        ctrs().releases.add(1);
         return;
     }
     assert(false && "release of unknown log");

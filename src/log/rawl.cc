@@ -4,9 +4,34 @@
 #include <cassert>
 #include <thread>
 
+#include "obs/obs.h"
+#include "obs/trace_ring.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::log {
+
+namespace {
+
+/** Registry-backed event counts for every Rawl in the process.  Kept as
+ *  a function-local static so the registry (also a function-local
+ *  static) is guaranteed to outlive them. */
+struct RawlCounters {
+    obs::Counter appends{"rawl.appends"};
+    obs::Counter append_words{"rawl.append_words"};
+    obs::Counter append_stalls{"rawl.append_stalls"};
+    obs::Counter pass_flips{"rawl.pass_flips"};
+    obs::Counter flushes{"rawl.flushes"};
+    obs::Counter truncations{"rawl.truncations"};
+};
+
+RawlCounters &
+ctrs()
+{
+    static RawlCounters c;
+    return c;
+}
+
+} // namespace
 
 size_t
 Rawl::footprint(size_t capacity_words)
@@ -144,8 +169,10 @@ Rawl::tryAppend(const uint64_t *words, size_t n)
     if (need > capacity_ - 1)
         throw RecordTooLarge{n};
     if (need > capacity_ - 1 -
-            (tail_ - headShadow_.load(std::memory_order_acquire)))
+            (tail_ - headShadow_.load(std::memory_order_acquire))) {
+        ctrs().append_stalls.add(1);
         return false;
+    }
 
     // Form the torn-bit words in a staging buffer: treat the incoming
     // 64-bit words as a stream of bits and cut it into 63-bit payloads
@@ -181,8 +208,15 @@ Rawl::tryAppend(const uint64_t *words, size_t n)
         c.wtstore(&buf_[slot], stage_.data() + done, run * sizeof(uint64_t));
         done += run;
     }
+    const uint64_t old_tail = tail_;
     tail_ += stage_.size();
     tailShadow_.store(tail_, std::memory_order_release);
+    ctrs().appends.add(1);
+    ctrs().append_words.add(stage_.size());
+    if (old_tail / capacity_ != tail_ / capacity_)
+        ctrs().pass_flips.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kLogAppend, n,
+                                      stage_.size());
     return true;
 }
 
@@ -198,6 +232,8 @@ Rawl::flush()
 {
     scm::ctx().fence();
     flushedShadow_.store(tail_, std::memory_order_release);
+    ctrs().flushes.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kLogFlush, tail_);
 }
 
 void
@@ -241,10 +277,14 @@ void
 Rawl::consumeTo(Cursor c, bool do_fence)
 {
     auto &ctx = scm::ctx();
+    const uint64_t freed = c.pos - headShadow_.load(std::memory_order_acquire);
     ctx.wtstoreT(&hdr_->headAbs, c.pos);
     if (do_fence)
         ctx.fence();
     headShadow_.store(c.pos, std::memory_order_release);
+    ctrs().truncations.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kLogTruncate, c.pos,
+                                      freed);
 }
 
 } // namespace mnemosyne::log

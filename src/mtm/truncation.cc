@@ -1,8 +1,20 @@
 #include "mtm/truncation.h"
 
+#include "obs/obs.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::mtm {
+
+namespace {
+
+obs::Histogram &
+asyncTruncHist()
+{
+    static obs::Histogram h{"mtm.async_trunc_ns"};
+    return h;
+}
+
+} // namespace
 
 TruncationThread::TruncationThread() : worker_([this] { run(); })
 {
@@ -96,12 +108,15 @@ TruncationThread::run()
         // space.  The order matters: the redo record may only disappear
         // once the in-place data is durable.
         try {
+            const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
             auto &c = scm::ctx();
             for (uintptr_t line : task.lines)
                 c.flush(reinterpret_cast<const void *>(line));
             c.fence();
             task.log->consumeTo(log::Rawl::Cursor{task.consumeTo},
                                 /*do_fence=*/false);
+            if (t0)
+                asyncTruncHist().record(obs::nowNs() - t0);
         } catch (const scm::CrashNow &) {
             // A crash-injection hook fired on this thread: the machine
             // is "dying"; stop touching SCM and let the test's crash()

@@ -6,9 +6,29 @@
 
 #include "mtm/truncation.h"
 #include "mtm/txn_manager.h"
+#include "obs/obs.h"
+#include "obs/trace_ring.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::mtm {
+
+namespace {
+
+obs::Counter &
+redoWordsCtr()
+{
+    static obs::Counter c{"mtm.redo_words"};
+    return c;
+}
+
+obs::Histogram &
+syncTruncHist()
+{
+    static obs::Histogram h{"mtm.sync_trunc_ns"};
+    return h;
+}
+
+} // namespace
 
 void
 Txn::begin(uint64_t id, log::Rawl *log)
@@ -18,6 +38,8 @@ Txn::begin(uint64_t id, log::Rawl *log)
     startTs_ = mgr_.clock_.load(std::memory_order_acquire);
     depth_ = 1;
     active_ = true;
+    obs::TraceRing::instance().record(obs::TraceEv::kTxnBegin, id_,
+                                      startTs_);
 }
 
 void
@@ -46,8 +68,10 @@ Txn::rollback()
     }
     for (auto it = abortHooks_.rbegin(); it != abortHooks_.rend(); ++it)
         (*it)();
+    const uint64_t id = id_;
     reset();
-    mgr_.nAborts_.fetch_add(1, std::memory_order_relaxed);
+    mgr_.nAborts_.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kTxnAbort, id);
 }
 
 void
@@ -165,8 +189,10 @@ Txn::writeWord(uintptr_t word_addr, uint64_t val)
 {
     logBatch_.clear();
     bufferWord(word_addr, val);
-    if (!logBatch_.empty())
+    if (!logBatch_.empty()) {
+        redoWordsCtr().add(logBatch_.size());
         log_->append(logBatch_.data(), logBatch_.size());
+    }
 }
 
 void
@@ -201,8 +227,10 @@ Txn::write(void *addr, const void *src, size_t len)
     }
     // One log record for the whole multi-word store (the streamed
     // appends of one instrumented memcpy).
-    if (!logBatch_.empty())
+    if (!logBatch_.empty()) {
+        redoWordsCtr().add(logBatch_.size());
         log_->append(logBatch_.data(), logBatch_.size());
+    }
 }
 
 void
@@ -235,8 +263,11 @@ Txn::commit()
         // incremental validation; nothing to persist.
         for (auto &h : commitHooks_)
             h();
+        const uint64_t id = id_;
         reset();
-        mgr_.nReadonly_.fetch_add(1, std::memory_order_relaxed);
+        mgr_.nReadonly_.add(1);
+        obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id,
+                                          /*readonly=*/1);
         return;
     }
 
@@ -302,11 +333,14 @@ Txn::commit()
             // commit, then drop the whole per-thread log.  The head
             // advance is ordered after this fence and rides the next
             // one (losing it only means an idempotent replay).
+            const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
             for (uintptr_t line : lines)
                 c.flush(reinterpret_cast<const void *>(line));
             c.fence();
             log_->consumeTo(log::Rawl::Cursor{log_->tailAbs()},
                             /*do_fence=*/false);
+            if (t0)
+                syncTruncHist().record(obs::nowNs() - t0);
         } else {
             mgr_.truncator_->enqueue(TruncationThread::Task{
                 log_, log_->tailAbs(), std::move(lines)});
@@ -315,8 +349,10 @@ Txn::commit()
 
     for (auto &h : commitHooks_)
         h();
+    const uint64_t id = id_;
     reset();
-    mgr_.nCommits_.fetch_add(1, std::memory_order_relaxed);
+    mgr_.nCommits_.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id, ts);
 }
 
 } // namespace mnemosyne::mtm

@@ -6,6 +6,7 @@
 
 #include "mtm/recovery.h"
 #include "mtm/truncation.h"
+#include "obs/stats_registry.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::mtm {
@@ -49,10 +50,33 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
             logs_->release(log);
     }
     truncator_ = std::make_unique<TruncationThread>();
+
+    // Counts sum across live managers; per-thread arrays are indexed by
+    // obs thread ordinal (mod the shard count), matching scm.* shards.
+    statsSourceToken_ =
+        obs::StatsRegistry::instance().addSource([this](obs::Sink &sink) {
+            sink.emit("mtm.commits", nCommits_.sum());
+            sink.emit("mtm.aborts", nAborts_.sum());
+            sink.emit("mtm.readonly_commits", nReadonly_.sum());
+            sink.emit("mtm.retries", nRetries_.sum());
+            sink.emit("mtm.replayed_txns", nReplayed_);
+            sink.emit("mtm.truncation_backlog",
+                      uint64_t(truncationBacklog()));
+            auto trim = [](std::array<uint64_t, obs::kMaxThreadShards> a) {
+                std::vector<uint64_t> v(a.begin(), a.end());
+                while (!v.empty() && v.back() == 0)
+                    v.pop_back();
+                return v;
+            };
+            sink.emitArray("mtm.commits.per_thread", trim(nCommits_.perShard()));
+            sink.emitArray("mtm.aborts.per_thread", trim(nAborts_.perShard()));
+            sink.emitArray("mtm.retries.per_thread", trim(nRetries_.perShard()));
+        });
 }
 
 TxnManager::~TxnManager()
 {
+    obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     if (truncator_)
         truncator_->drain();
 }
@@ -173,9 +197,10 @@ TxnStats
 TxnManager::stats() const
 {
     TxnStats s;
-    s.commits = nCommits_.load(std::memory_order_relaxed);
-    s.aborts = nAborts_.load(std::memory_order_relaxed);
-    s.readonly_commits = nReadonly_.load(std::memory_order_relaxed);
+    s.commits = nCommits_.sum();
+    s.aborts = nAborts_.sum();
+    s.readonly_commits = nReadonly_.sum();
+    s.retries = nRetries_.sum();
     s.replayed_txns = nReplayed_;
     return s;
 }

@@ -15,6 +15,7 @@
 #include "log/log_manager.h"
 #include "mtm/lock_table.h"
 #include "mtm/txn.h"
+#include "obs/obs.h"
 #include "region/region_table.h"
 
 namespace mnemosyne::mtm {
@@ -39,6 +40,7 @@ struct TxnStats {
     uint64_t commits = 0;
     uint64_t aborts = 0;
     uint64_t readonly_commits = 0;
+    uint64_t retries = 0;           ///< Backoff/retry rounds in atomic().
     uint64_t replayed_txns = 0;     ///< Completed txns redone at recovery.
 };
 
@@ -79,6 +81,7 @@ class TxnManager
                 // level may retry.
                 if (!outer)
                     throw;
+                nRetries_.add(1);
                 backoff(attempt);
             } catch (...) {
                 // User exception: roll the whole transaction back at the
@@ -136,8 +139,12 @@ class TxnManager
     std::unique_ptr<TruncationThread> truncator_;
     const uint64_t mgrId_;
 
-    std::atomic<uint64_t> nCommits_{0}, nAborts_{0}, nReadonly_{0};
+    // Per-thread-sharded so hot commit/abort paths never contend on one
+    // cache line, and stats() sums relaxed per-shard loads (no torn
+    // 64-bit reads, unlike the earlier single-atomic scheme on 32-bit).
+    obs::ShardedCounter nCommits_, nAborts_, nReadonly_, nRetries_;
     uint64_t nReplayed_ = 0;
+    uint64_t statsSourceToken_ = 0;
 };
 
 } // namespace mnemosyne::mtm

@@ -1,0 +1,125 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/stats_registry.h"
+
+namespace mnemosyne::obs {
+
+namespace detail {
+
+size_t
+nextThreadOrdinal()
+{
+    static std::atomic<size_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+bool
+envTruthy(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+} // namespace
+
+#if MNEMOSYNE_OBS
+std::atomic<bool> gEnabled{envTruthy("MNEMOSYNE_STATS")};
+#endif
+
+} // namespace detail
+
+uint64_t
+nowNs()
+{
+    using clk = std::chrono::steady_clock;
+    static const clk::time_point start = clk::now();
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        clk::now() - start)
+                        .count());
+}
+
+#if MNEMOSYNE_OBS
+
+void
+setEnabled(bool on)
+{
+    detail::gEnabled.store(on, std::memory_order_relaxed);
+}
+
+Counter::Counter(const char *key, bool per_thread_breakdown)
+    : key_(key), breakdown_(per_thread_breakdown)
+{
+    StatsRegistry::instance().add(this);
+}
+
+Counter::~Counter()
+{
+    StatsRegistry::instance().remove(this);
+}
+
+Histogram::Histogram(const char *key) : key_(key)
+{
+    StatsRegistry::instance().add(this);
+}
+
+Histogram::~Histogram()
+{
+    StatsRegistry::instance().remove(this);
+}
+
+void
+Histogram::recordAlways(uint64_t v)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    const auto buckets = bucketsSnapshot();
+    uint64_t total = 0;
+    for (uint64_t b : buckets)
+        total += b;
+    if (total == 0)
+        return 0;
+    const uint64_t rank = uint64_t(double(total - 1) * q) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i];
+        if (seen >= rank) {
+            // Upper bound of the bucket (saturating for the last one).
+            return i >= 63 ? UINT64_MAX : (uint64_t(2) << i) - 1;
+        }
+    }
+    return UINT64_MAX;
+}
+
+std::array<uint64_t, Histogram::kBuckets>
+Histogram::bucketsSnapshot() const
+{
+    std::array<uint64_t, kBuckets> out;
+    for (size_t i = 0; i < kBuckets; ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+}
+
+#endif // MNEMOSYNE_OBS
+
+} // namespace mnemosyne::obs

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Observability core: lock-free, per-thread-sharded counters and
+ * bucketed latency histograms for every layer of Figure 1.
+ *
+ * Design goals (see DESIGN.md "Observability"):
+ *
+ *  - Near-zero overhead when disabled.  Two gates stack:
+ *      * compile time: build with -DMNEMOSYNE_OBS=0 (cmake -DMN_OBS=OFF)
+ *        and every registered counter/histogram/trace call compiles to
+ *        nothing;
+ *      * run time: the MNEMOSYNE_STATS environment variable (or
+ *        setEnabled()) — when off, instrumented call sites cost one
+ *        relaxed load and a predictable branch.
+ *  - Lock-free hot path.  A counter is an array of cache-line-sized
+ *    shards; a thread increments the shard picked by its process-wide
+ *    ordinal with one relaxed fetch_add, so concurrent writers never
+ *    share a line (until more than kMaxThreadShards threads exist, when
+ *    ordinals wrap and shards are shared but stay correct).
+ *  - Snapshots are sums over shards: never torn, at worst slightly
+ *    stale relative to in-flight increments.
+ *
+ * ShardedCounter is the always-on value type used by layers that expose
+ * their own stats structs (ScmStats, TxnStats).  Counter / Histogram
+ * are the registered, gated variants that feed the StatsRegistry JSON
+ * snapshot (stats_registry.h).
+ */
+
+#ifndef MNEMOSYNE_OBS_OBS_H_
+#define MNEMOSYNE_OBS_OBS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#ifndef MNEMOSYNE_OBS
+#define MNEMOSYNE_OBS 1
+#endif
+
+namespace mnemosyne::obs {
+
+/** Shards per counter; thread ordinals wrap beyond this. */
+inline constexpr size_t kMaxThreadShards = 64;
+
+namespace detail {
+size_t nextThreadOrdinal();
+#if MNEMOSYNE_OBS
+extern std::atomic<bool> gEnabled;
+#endif
+} // namespace detail
+
+/** Process-wide ordinal of the calling thread (0, 1, 2, ...). */
+inline size_t
+threadOrdinal()
+{
+    thread_local size_t ord = detail::nextThreadOrdinal();
+    return ord;
+}
+
+inline size_t threadShard() { return threadOrdinal() % kMaxThreadShards; }
+
+/** Monotonic nanoseconds since process start (for trace timestamps and
+ *  latency measurement). */
+uint64_t nowNs();
+
+#if MNEMOSYNE_OBS
+/** Runtime toggle: seeded from MNEMOSYNE_STATS, overridable. */
+inline bool
+enabled()
+{
+    return detail::gEnabled.load(std::memory_order_relaxed);
+}
+void setEnabled(bool on);
+#else
+inline constexpr bool enabled() { return false; }
+inline void setEnabled(bool) {}
+#endif
+
+/**
+ * Always-on sharded counter (no registration, no runtime gate): the
+ * building block, also used directly by layers whose stats predate the
+ * observability subsystem (ScmStats, TxnStats).
+ */
+class ShardedCounter
+{
+  public:
+    ShardedCounter() = default;
+    ShardedCounter(const ShardedCounter &) = delete;
+    ShardedCounter &operator=(const ShardedCounter &) = delete;
+
+    void
+    add(uint64_t n = 1)
+    {
+        slots_[threadShard()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    sum() const
+    {
+        uint64_t s = 0;
+        for (const auto &slot : slots_)
+            s += slot.v.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    void
+    reset()
+    {
+        for (auto &slot : slots_)
+            slot.v.store(0, std::memory_order_relaxed);
+    }
+
+    /** Per-shard values (shard index == thread ordinal mod shards). */
+    std::array<uint64_t, kMaxThreadShards>
+    perShard() const
+    {
+        std::array<uint64_t, kMaxThreadShards> out;
+        for (size_t i = 0; i < kMaxThreadShards; ++i)
+            out[i] = slots_[i].v.load(std::memory_order_relaxed);
+        return out;
+    }
+
+  private:
+    struct alignas(64) Slot {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Slot, kMaxThreadShards> slots_{};
+};
+
+#if MNEMOSYNE_OBS
+
+/**
+ * A named counter registered with the StatsRegistry.  Increments are
+ * dropped while stats are disabled, so counters reflect activity during
+ * enabled windows only.  Construct as a function-local static grouped
+ * per layer:
+ *
+ *   struct RawlObs { obs::Counter appends{"rawl.appends"}; ... };
+ *   RawlObs &robs() { static RawlObs o; return o; }
+ */
+class Counter
+{
+  public:
+    /** @p key must outlive the counter (string literal).  With
+     *  @p per_thread_breakdown, JSON snapshots also emit the per-shard
+     *  array under "<key>.per_thread". */
+    explicit Counter(const char *key, bool per_thread_breakdown = false);
+    ~Counter();
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(uint64_t n = 1)
+    {
+        if (enabled())
+            impl_.add(n);
+    }
+
+    uint64_t value() const { return impl_.sum(); }
+    void reset() { impl_.reset(); }
+    const char *key() const { return key_; }
+    bool breakdown() const { return breakdown_; }
+    std::array<uint64_t, kMaxThreadShards> perShard() const
+    {
+        return impl_.perShard();
+    }
+
+  private:
+    const char *key_;
+    const bool breakdown_;
+    ShardedCounter impl_;
+};
+
+/**
+ * A registered power-of-two-bucketed histogram (bucket i covers values
+ * in [2^i, 2^(i+1)), with 0 folded into bucket 0).  Intended for
+ * latencies in nanoseconds; records are dropped while stats are
+ * disabled.  Not sharded: histograms sit off the hot path (truncation
+ * latency, recovery phases).
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 64;
+
+    explicit Histogram(const char *key);
+    ~Histogram();
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    void
+    record(uint64_t v)
+    {
+        if (enabled())
+            recordAlways(v);
+    }
+
+    void recordAlways(uint64_t v);
+
+    /** Bucket that value @p v falls into. */
+    static size_t
+    bucketIndex(uint64_t v)
+    {
+        return v == 0 ? 0 : size_t(std::bit_width(v)) - 1;
+    }
+
+    /** Smallest value belonging to bucket @p i. */
+    static uint64_t
+    bucketLowerBound(size_t i)
+    {
+        return i == 0 ? 0 : uint64_t(1) << i;
+    }
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    uint64_t total() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Approximate quantile (upper bound of the containing bucket). */
+    uint64_t quantile(double q) const;
+
+    std::array<uint64_t, kBuckets> bucketsSnapshot() const;
+    void reset();
+    const char *key() const { return key_; }
+
+  private:
+    const char *key_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+#else // !MNEMOSYNE_OBS — compiled-out stubs with identical surface
+
+class Counter
+{
+  public:
+    explicit Counter(const char *key, bool = false) : key_(key) {}
+    void add(uint64_t = 1) {}
+    uint64_t value() const { return 0; }
+    void reset() {}
+    const char *key() const { return key_; }
+    bool breakdown() const { return false; }
+    std::array<uint64_t, kMaxThreadShards> perShard() const { return {}; }
+
+  private:
+    const char *key_;
+};
+
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 64;
+    explicit Histogram(const char *key) : key_(key) {}
+    void record(uint64_t) {}
+    void recordAlways(uint64_t) {}
+    static size_t bucketIndex(uint64_t v)
+    {
+        return v == 0 ? 0 : size_t(std::bit_width(v)) - 1;
+    }
+    static uint64_t bucketLowerBound(size_t i)
+    {
+        return i == 0 ? 0 : uint64_t(1) << i;
+    }
+    uint64_t count() const { return 0; }
+    uint64_t total() const { return 0; }
+    uint64_t quantile(double) const { return 0; }
+    std::array<uint64_t, kBuckets> bucketsSnapshot() const { return {}; }
+    void reset() {}
+    const char *key() const { return key_; }
+
+  private:
+    const char *key_;
+};
+
+#endif // MNEMOSYNE_OBS
+
+} // namespace mnemosyne::obs
+
+#endif // MNEMOSYNE_OBS_OBS_H_

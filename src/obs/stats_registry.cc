@@ -1,0 +1,268 @@
+#include "obs/stats_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/trace_ring.h"
+
+namespace mnemosyne::obs {
+
+void
+Sink::emit(const std::string &key, uint64_t v)
+{
+    Value &val = scalars_[key];
+    if (val.is_float)
+        val.d += double(v);
+    else
+        val.u += v;
+}
+
+void
+Sink::emit(const std::string &key, double v)
+{
+    Value &val = scalars_[key];
+    if (!val.is_float) {
+        val.d = double(val.u);
+        val.is_float = true;
+    }
+    val.d += v;
+}
+
+void
+Sink::emitArray(const std::string &key, const std::vector<uint64_t> &v)
+{
+    auto &dst = arrays_[key];
+    if (dst.size() < v.size())
+        dst.resize(v.size(), 0);
+    for (size_t i = 0; i < v.size(); ++i)
+        dst[i] += v[i];
+}
+
+StatsRegistry &
+StatsRegistry::instance()
+{
+    static StatsRegistry reg;
+    return reg;
+}
+
+void
+StatsRegistry::add(Counter *c)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    counters_.push_back(c);
+}
+
+void
+StatsRegistry::remove(Counter *c)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    std::erase(counters_, c);
+}
+
+void
+StatsRegistry::add(Histogram *h)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    histograms_.push_back(h);
+}
+
+void
+StatsRegistry::remove(Histogram *h)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    std::erase(histograms_, h);
+}
+
+uint64_t
+StatsRegistry::addSource(Source fn)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    const uint64_t token = nextToken_++;
+    sources_.emplace(token, std::move(fn));
+    return token;
+}
+
+void
+StatsRegistry::removeSource(uint64_t token)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    sources_.erase(token);
+}
+
+void
+StatsRegistry::collect(Sink &sink) const
+{
+    // Copy the registration lists so source callbacks can run without
+    // the registry lock held (a source may construct a counter).
+    std::vector<Counter *> counters;
+    std::vector<Histogram *> histograms;
+    std::vector<Source> sources;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        counters = counters_;
+        histograms = histograms_;
+        sources.reserve(sources_.size());
+        for (const auto &[token, fn] : sources_) {
+            (void)token;
+            sources.push_back(fn);
+        }
+    }
+
+    for (const Counter *c : counters) {
+        sink.emit(c->key(), c->value());
+        if (c->breakdown()) {
+            const auto shards = c->perShard();
+            std::vector<uint64_t> v(shards.begin(), shards.end());
+            while (!v.empty() && v.back() == 0)
+                v.pop_back();
+            sink.emitArray(std::string(c->key()) + ".per_thread", v);
+        }
+    }
+    for (const Histogram *h : histograms) {
+        const std::string key = h->key();
+        sink.emit(key + ".count", h->count());
+        sink.emit(key + ".sum", h->total());
+        sink.emit(key + ".p50", h->quantile(0.50));
+        sink.emit(key + ".p99", h->quantile(0.99));
+    }
+    for (const Source &src : sources)
+        src(sink);
+}
+
+namespace {
+
+void
+appendJsonValue(std::string &out, const Sink::Value &v)
+{
+    char buf[64];
+    if (v.is_float)
+        std::snprintf(buf, sizeof(buf), "%.6g", v.d);
+    else
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v.u);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+StatsRegistry::jsonSnapshot() const
+{
+    Sink sink;
+    collect(sink);
+
+    std::string out = "{";
+    bool first = true;
+    // Both maps are key-sorted; merge them into one sorted object.
+    auto sit = sink.scalars_.begin();
+    auto ait = sink.arrays_.begin();
+    auto emitKey = [&](const std::string &key) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"";
+        out += key;
+        out += "\":";
+    };
+    while (sit != sink.scalars_.end() || ait != sink.arrays_.end()) {
+        const bool takeScalar =
+            ait == sink.arrays_.end() ||
+            (sit != sink.scalars_.end() && sit->first <= ait->first);
+        if (takeScalar) {
+            emitKey(sit->first);
+            appendJsonValue(out, sit->second);
+            ++sit;
+        } else {
+            emitKey(ait->first);
+            out += "[";
+            for (size_t i = 0; i < ait->second.size(); ++i) {
+                if (i > 0)
+                    out += ",";
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%" PRIu64, ait->second[i]);
+                out += buf;
+            }
+            out += "]";
+            ++ait;
+        }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+StatsRegistry::textSnapshot() const
+{
+    Sink sink;
+    collect(sink);
+
+    size_t width = 0;
+    for (const auto &[key, v] : sink.scalars_) {
+        (void)v;
+        width = std::max(width, key.size());
+    }
+    std::ostringstream os;
+    for (const auto &[key, v] : sink.scalars_) {
+        os << key << std::string(width + 2 - key.size(), ' ');
+        if (v.is_float)
+            os << v.d;
+        else
+            os << v.u;
+        os << "\n";
+    }
+    for (const auto &[key, arr] : sink.arrays_) {
+        os << key << "  [";
+        for (size_t i = 0; i < arr.size(); ++i)
+            os << (i ? "," : "") << arr[i];
+        os << "]\n";
+    }
+    return os.str();
+}
+
+void
+StatsRegistry::resetAll()
+{
+    std::vector<Counter *> counters;
+    std::vector<Histogram *> histograms;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        counters = counters_;
+        histograms = histograms_;
+    }
+    for (Counter *c : counters)
+        c->reset();
+    for (Histogram *h : histograms)
+        h->reset();
+}
+
+void
+shutdownDump()
+{
+#if MNEMOSYNE_OBS
+    if (enabled()) {
+        const std::string json = StatsRegistry::instance().jsonSnapshot();
+        if (const char *path = std::getenv("MNEMOSYNE_STATS_FILE")) {
+            if (std::FILE *f = std::fopen(path, "a")) {
+                std::fprintf(f, "%s\n", json.c_str());
+                std::fclose(f);
+            } else {
+                std::fprintf(stderr,
+                             "mnemosyne: cannot append stats to %s; "
+                             "dumping to stderr\n%s\n",
+                             path, json.c_str());
+            }
+        } else {
+            std::fprintf(stderr, "%s\n", json.c_str());
+        }
+    }
+    if (const char *path = std::getenv("MNEMOSYNE_TRACE_FILE")) {
+        auto &ring = TraceRing::instance();
+        if (ring.recorded() > 0)
+            ring.exportChromeJsonFile(path);
+    }
+#endif
+}
+
+} // namespace mnemosyne::obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * StatsRegistry: the single place every layer's observability data
+ * meets, and the JSON/text exporter behind the MNEMOSYNE_STATS toggle.
+ *
+ * Three kinds of inputs:
+ *
+ *  - Counters / Histograms (obs.h) self-register on construction and
+ *    unregister on destruction.  Layers keep them as function-local
+ *    statics, so a binary only carries the keys of the layers it links.
+ *  - Sources: callbacks registered by stateful objects (ScmContext,
+ *    RegionManager, PHeap, TxnManager, Runtime) that emit gauges and
+ *    pre-existing stats structs into a Sink at snapshot time.  A source
+ *    may emit nothing (e.g. an ScmContext that is not current).
+ *
+ * Snapshot key space is flat and dot-qualified ("scm.fences",
+ * "mtm.commits"); duplicate keys (two live instances of a layer) sum.
+ * The JSON snapshot is a single-line object sorted by key:
+ *
+ *   {"mtm.commits":12,"mtm.commits.per_thread":[8,4],"scm.fences":31,...}
+ *
+ * Histograms expand to <key>.count/.sum/.p50/.p99.  Counters created
+ * with per-thread breakdown add "<key>.per_thread" arrays (indexed by
+ * thread ordinal mod kMaxThreadShards, trailing zeros trimmed).
+ */
+
+#ifndef MNEMOSYNE_OBS_STATS_REGISTRY_H_
+#define MNEMOSYNE_OBS_STATS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mnemosyne::obs {
+
+/** Where sources write their key/value pairs during a snapshot. */
+class Sink
+{
+  public:
+    void emit(const std::string &key, uint64_t v);
+    void emit(const std::string &key, double v);
+    void emitArray(const std::string &key, const std::vector<uint64_t> &v);
+
+    struct Value {
+        bool is_float = false;
+        uint64_t u = 0;
+        double d = 0.0;
+    };
+
+  private:
+    friend class StatsRegistry;
+    std::map<std::string, Value> scalars_;
+    std::map<std::string, std::vector<uint64_t>> arrays_;
+};
+
+class StatsRegistry
+{
+  public:
+    using Source = std::function<void(Sink &)>;
+
+    static StatsRegistry &instance();
+
+    /** Register a stateful layer's gauge callback; returns a token for
+     *  removeSource(). */
+    uint64_t addSource(Source fn);
+    void removeSource(uint64_t token);
+
+    /** One-line JSON object over all counters, histograms, sources. */
+    std::string jsonSnapshot() const;
+
+    /** Human-readable "key  value" lines, sorted. */
+    std::string textSnapshot() const;
+
+    /** Reset every registered counter and histogram (sources keep their
+     *  own state). */
+    void resetAll();
+
+    // Called by Counter / Histogram constructors; not for direct use.
+    void add(Counter *c);
+    void remove(Counter *c);
+    void add(Histogram *h);
+    void remove(Histogram *h);
+
+  private:
+    StatsRegistry() = default;
+
+    void collect(Sink &sink) const;
+
+    mutable std::mutex mu_;
+    std::vector<Counter *> counters_;
+    std::vector<Histogram *> histograms_;
+    std::map<uint64_t, Source> sources_;
+    uint64_t nextToken_ = 1;
+};
+
+/**
+ * Shutdown hook called by Runtime's destructor: when MNEMOSYNE_STATS is
+ * on, writes the JSON snapshot to MNEMOSYNE_STATS_FILE (append) or
+ * stderr; when MNEMOSYNE_TRACE_FILE is set and events were recorded,
+ * writes the Chrome trace JSON there.
+ */
+void shutdownDump();
+
+} // namespace mnemosyne::obs
+
+#endif // MNEMOSYNE_OBS_STATS_REGISTRY_H_

@@ -1,0 +1,199 @@
+#include "obs/trace_ring.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+namespace mnemosyne::obs {
+
+const char *
+traceEvName(TraceEv ev)
+{
+    switch (ev) {
+      case TraceEv::kFence:       return "fence";
+      case TraceEv::kFlush:       return "clflush";
+      case TraceEv::kWtStore:     return "wtstore";
+      case TraceEv::kStore:       return "store";
+      case TraceEv::kLogAppend:   return "log_append";
+      case TraceEv::kLogFlush:    return "log_flush";
+      case TraceEv::kLogTruncate: return "log_truncate";
+      case TraceEv::kTxnBegin:    return "txn_begin";
+      case TraceEv::kTxnCommit:   return "txn_commit";
+      case TraceEv::kTxnAbort:    return "txn_abort";
+      case TraceEv::kRegionMap:   return "region_map";
+      case TraceEv::kRegionUnmap: return "region_unmap";
+      case TraceEv::kPageFault:   return "page_fault";
+      case TraceEv::kPageEvict:   return "page_evict";
+      case TraceEv::kHeapAlloc:   return "pmalloc";
+      case TraceEv::kHeapFree:    return "pfree";
+      case TraceEv::kReincPhase:  return "reincarnation_phase";
+    }
+    return "unknown";
+}
+
+namespace {
+
+const char *
+traceEvCategory(TraceEv ev)
+{
+    switch (ev) {
+      case TraceEv::kFence:
+      case TraceEv::kFlush:
+      case TraceEv::kWtStore:
+      case TraceEv::kStore:
+        return "scm";
+      case TraceEv::kLogAppend:
+      case TraceEv::kLogFlush:
+      case TraceEv::kLogTruncate:
+        return "log";
+      case TraceEv::kTxnBegin:
+      case TraceEv::kTxnCommit:
+      case TraceEv::kTxnAbort:
+        return "mtm";
+      case TraceEv::kRegionMap:
+      case TraceEv::kRegionUnmap:
+      case TraceEv::kPageFault:
+      case TraceEv::kPageEvict:
+        return "region";
+      case TraceEv::kHeapAlloc:
+      case TraceEv::kHeapFree:
+        return "heap";
+      case TraceEv::kReincPhase:
+        return "runtime";
+    }
+    return "unknown";
+}
+
+bool
+envTruthy(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+size_t
+envCapacity()
+{
+    if (const char *v = std::getenv("MNEMOSYNE_TRACE_CAPACITY")) {
+        const unsigned long long n = std::strtoull(v, nullptr, 10);
+        if (n >= 2)
+            return size_t(n);
+    }
+    return TraceRing::kDefaultCapacity;
+}
+
+} // namespace
+
+TraceRing::TraceRing()
+{
+#if MNEMOSYNE_OBS
+    ring_.resize(std::bit_ceil(envCapacity()));
+    mask_ = ring_.size() - 1;
+    enabled_.store(envTruthy("MNEMOSYNE_TRACE") ||
+                       std::getenv("MNEMOSYNE_TRACE_FILE") != nullptr,
+                   std::memory_order_relaxed);
+#else
+    ring_.resize(1);
+    mask_ = 0;
+#endif
+}
+
+TraceRing &
+TraceRing::instance()
+{
+    static TraceRing ring;
+    return ring;
+}
+
+void
+TraceRing::setEnabled(bool on)
+{
+#if MNEMOSYNE_OBS
+    enabled_.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+}
+
+void
+TraceRing::setCapacity(size_t events)
+{
+    std::lock_guard<std::mutex> g(resizeMu_);
+    ring_.assign(std::bit_ceil(std::max<size_t>(events, 2)), TraceRecord{});
+    mask_ = ring_.size() - 1;
+    head_.store(0, std::memory_order_relaxed);
+}
+
+void
+TraceRing::clear()
+{
+    std::lock_guard<std::mutex> g(resizeMu_);
+    std::fill(ring_.begin(), ring_.end(), TraceRecord{});
+    head_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecord>
+TraceRing::snapshot() const
+{
+    std::lock_guard<std::mutex> g(resizeMu_);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t lo = head > ring_.size() ? head - ring_.size() : 0;
+    std::vector<TraceRecord> out;
+    out.reserve(size_t(head - lo));
+    for (const TraceRecord &r : ring_) {
+        // Skip empty slots and slots claimed but possibly mid-write
+        // beyond the published head.
+        if (r.seq > lo && r.seq <= head)
+            out.push_back(r);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRecord &a, const TraceRecord &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+void
+TraceRing::exportChromeJson(std::ostream &os) const
+{
+    const auto events = snapshot();
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceRecord &r : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Events are stamped when record() runs, i.e. at the END of a
+        // timed operation; Chrome's "X" phase wants the start.
+        const uint64_t start_ns =
+            r.ts_ns > r.dur_ns ? r.ts_ns - r.dur_ns : 0;
+        const double ts_us = double(start_ns) / 1e3;
+        os << "{\"name\":\"" << traceEvName(r.ev) << "\",\"cat\":\""
+           << traceEvCategory(r.ev) << "\",\"pid\":1,\"tid\":" << r.tid
+           << ",\"ts\":" << ts_us;
+        if (r.dur_ns > 0) {
+            os << ",\"ph\":\"X\",\"dur\":" << double(r.dur_ns) / 1e3;
+        } else {
+            os << ",\"ph\":\"i\",\"s\":\"t\"";
+        }
+        os << ",\"args\":{\"a0\":" << r.a0 << ",\"a1\":" << r.a1
+           << ",\"seq\":" << r.seq << "}}";
+    }
+    os << "]}";
+}
+
+bool
+TraceRing::exportChromeJsonFile(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        return false;
+    exportChromeJson(f);
+    f << "\n";
+    return bool(f);
+}
+
+} // namespace mnemosyne::obs

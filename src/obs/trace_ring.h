@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Bounded in-memory ring of persistence events, exportable as Chrome
+ * trace-event JSON (load the file at chrome://tracing or ui.perfetto.dev).
+ *
+ * Recording is lock-free: a writer claims a slot with one relaxed
+ * fetch_add on the head and fills it in place; when the ring is full,
+ * the oldest events are overwritten.  Each record carries its claim
+ * sequence number, so a snapshot can reassemble the surviving events in
+ * order and discard slots that are mid-write.  Export is intended to
+ * run at a quiescent point (shutdown, end of benchmark); an export
+ * racing active writers may drop the handful of events being written at
+ * that instant, never crash.
+ *
+ * Toggles: MNEMOSYNE_TRACE=1 enables recording, MNEMOSYNE_TRACE_FILE
+ * names a JSON file auto-written at Runtime shutdown (implies enable),
+ * MNEMOSYNE_TRACE_CAPACITY overrides the default 65536-event capacity.
+ */
+
+#ifndef MNEMOSYNE_OBS_TRACE_RING_H_
+#define MNEMOSYNE_OBS_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace mnemosyne::obs {
+
+/** Persistence-event kinds recorded by the layers of Figure 1. */
+enum class TraceEv : uint8_t {
+    // scm (hardware primitives)
+    kFence,
+    kFlush,
+    kWtStore,
+    kStore,
+    // log (RAWL)
+    kLogAppend,
+    kLogFlush,
+    kLogTruncate,
+    // mtm (durable transactions)
+    kTxnBegin,
+    kTxnCommit,
+    kTxnAbort,
+    // region (kernel simulation)
+    kRegionMap,
+    kRegionUnmap,
+    kPageFault,
+    kPageEvict,
+    // heap
+    kHeapAlloc,
+    kHeapFree,
+    // runtime
+    kReincPhase,
+};
+
+const char *traceEvName(TraceEv ev);
+
+struct TraceRecord {
+    uint64_t seq = 0;       ///< 1-based claim order; 0 = never written.
+    uint64_t ts_ns = 0;     ///< nowNs() at record time.
+    uint64_t dur_ns = 0;    ///< Non-zero for span events.
+    uint64_t a0 = 0;        ///< Event-specific argument.
+    uint64_t a1 = 0;        ///< Event-specific argument.
+    uint32_t tid = 0;       ///< obs::threadOrdinal() of the recorder.
+    TraceEv ev = TraceEv::kFence;
+};
+
+class TraceRing
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    static TraceRing &instance();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on);
+
+    /** Resize (rounded up to a power of two) and clear.  Not safe
+     *  against concurrent record(); call at a quiescent point. */
+    void setCapacity(size_t events);
+    size_t capacity() const { return ring_.size(); }
+
+    void
+    record(TraceEv ev, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t dur_ns = 0)
+    {
+#if MNEMOSYNE_OBS
+        if (!enabled())
+            return;
+        const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+        TraceRecord &r = ring_[seq & mask_];
+        r.seq = seq + 1;
+        r.ts_ns = nowNs();
+        r.dur_ns = dur_ns;
+        r.a0 = a0;
+        r.a1 = a1;
+        r.tid = uint32_t(threadOrdinal());
+        r.ev = ev;
+#else
+        (void)ev;
+        (void)a0;
+        (void)a1;
+        (void)dur_ns;
+#endif
+    }
+
+    /** Events ever recorded (including overwritten ones). */
+    uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+
+    /** Events lost to ring wraparound. */
+    uint64_t
+    dropped() const
+    {
+        const uint64_t n = recorded();
+        return n > ring_.size() ? n - ring_.size() : 0;
+    }
+
+    /** Surviving events, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+    void clear();
+
+    /** Chrome trace-event JSON ({"traceEvents":[...]}). */
+    void exportChromeJson(std::ostream &os) const;
+    bool exportChromeJsonFile(const std::string &path) const;
+
+  private:
+    TraceRing();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> head_{0};
+    std::vector<TraceRecord> ring_;
+    uint64_t mask_ = 0;
+    mutable std::mutex resizeMu_;
+};
+
+} // namespace mnemosyne::obs
+
+#endif // MNEMOSYNE_OBS_TRACE_RING_H_

@@ -10,6 +10,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
+#include "obs/stats_registry.h"
+#include "obs/trace_ring.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::region {
@@ -56,10 +59,23 @@ RegionManager::RegionManager(RegionConfig cfg) : cfg_(std::move(cfg))
     }
     openMetadata();
     bootReconstruct();
+
+    // Zone gauges; duplicate keys from several live managers sum, which
+    // matches "total pages faulted / resident in this process".
+    statsSourceToken_ =
+        obs::StatsRegistry::instance().addSource([this](obs::Sink &sink) {
+            const ZoneStats s = zoneStats();
+            sink.emit("region.frames_total", uint64_t(s.frames_total));
+            sink.emit("region.frames_resident", uint64_t(s.frames_resident));
+            sink.emit("region.faults", s.faults);
+            sink.emit("region.soft_faults", s.soft_faults);
+            sink.emit("region.evictions", s.evictions);
+        });
 }
 
 RegionManager::~RegionManager()
 {
+    obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     std::lock_guard<std::mutex> g(mu_);
     for (auto &m : mappings_) {
         msync(reinterpret_cast<void *>(m.addr), m.length, MS_SYNC);
@@ -246,6 +262,8 @@ RegionManager::evictOne()
     residentIndex_.erase(residentKey(file_id, page_off));
     freeFrames_.push_back(f);
     ++stats_.evictions;
+    obs::TraceRing::instance().record(obs::TraceEv::kPageEvict, file_id,
+                                      page_off);
 }
 
 void
@@ -268,6 +286,7 @@ RegionManager::makeResident(Mapping &m, uintptr_t page_addr, bool initial)
         return;
     }
     ++stats_.faults;
+    obs::TraceRing::instance().record(obs::TraceEv::kPageFault, page_addr);
     allocFrame(m.fileId, page_off);
 }
 
@@ -309,6 +328,12 @@ RegionManager::mapFile(const std::string &file_name, size_t length,
         makeResident(m, p, true);
     scm::ctx().fence();
     stats_.frames_resident = residentIndex_.size();
+    {
+        static obs::Counter maps{"region.maps"};
+        maps.add(1);
+    }
+    obs::TraceRing::instance().record(obs::TraceEv::kRegionMap, fixed_addr,
+                                      length);
     return addr;
 }
 
@@ -349,6 +374,8 @@ RegionManager::evictRange(uintptr_t addr, size_t length)
         residentIndex_.erase(it);
         freeFrames_.push_back(f);
         ++stats_.evictions;
+        obs::TraceRing::instance().record(obs::TraceEv::kPageEvict,
+                                          m->fileId, page_off);
     }
     c.fence();
     stats_.frames_resident = residentIndex_.size();
@@ -371,6 +398,12 @@ RegionManager::unmapFile(uintptr_t addr, size_t length)
     // Re-establish the PROT_NONE reservation over the hole.
     mmap(reinterpret_cast<void *>(addr), length, PROT_NONE,
          MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE | MAP_FIXED, -1, 0);
+    {
+        static obs::Counter unmaps{"region.unmaps"};
+        unmaps.add(1);
+    }
+    obs::TraceRing::instance().record(obs::TraceEv::kRegionUnmap, addr,
+                                      length);
 }
 
 void

@@ -40,6 +40,20 @@
 #include <unordered_map>
 #include <vector>
 
+// ASan's 64-bit primary allocator owns [0x6000'0000'0000,
+// 0x6400'0000'0000), so sanitized builds reserve the persistent range
+// lower in high memory.
+#if defined(__SANITIZE_ADDRESS__)
+#define MNEMOSYNE_ASAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MNEMOSYNE_ASAN_ACTIVE 1
+#endif
+#endif
+#ifndef MNEMOSYNE_ASAN_ACTIVE
+#define MNEMOSYNE_ASAN_ACTIVE 0
+#endif
+
 namespace mnemosyne::region {
 
 inline constexpr size_t kPageSize = 4096;
@@ -47,7 +61,8 @@ inline constexpr size_t kPageSize = 4096;
 /** Configuration of the simulated SCM zone and address space. */
 struct RegionConfig {
     /** Base of the reserved persistent address range. */
-    uintptr_t va_base = 0x600000000000ULL;
+    uintptr_t va_base =
+        MNEMOSYNE_ASAN_ACTIVE ? 0x550000000000ULL : 0x600000000000ULL;
 
     /** Size of the reserved range (the paper reserves 1 TB). */
     size_t va_reserve = size_t(1) << 40;
@@ -183,6 +198,7 @@ class RegionManager
 
     ZoneStats stats_;
     std::unordered_map<std::string, bool> existed_;
+    uint64_t statsSourceToken_ = 0;
 };
 
 } // namespace mnemosyne::region

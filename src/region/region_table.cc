@@ -6,11 +6,25 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::region {
 
 namespace {
+
+struct TableCounters {
+    obs::Counter pmaps{"region.pmaps"};
+    obs::Counter punmaps{"region.punmaps"};
+    obs::Counter pstatic_vars{"region.pstatic_vars"};
+};
+
+TableCounters &
+tctrs()
+{
+    static TableCounters c;
+    return c;
+}
 
 std::atomic<RegionLayer *> gLayer{nullptr};
 std::atomic<uint64_t> gGeneration{0};
@@ -169,6 +183,7 @@ RegionLayer::pmap(void **persistent_slot, size_t len, uint64_t flags)
         c.wtstoreT<void *>(persistent_slot, mapped);
         c.fence();
     }
+    tctrs().pmaps.add(1);
     return mapped;
 }
 
@@ -186,6 +201,7 @@ RegionLayer::punmap(void *addr, size_t len)
             c.fence();
             mgr_.destroyFile(slotFileName(i), uintptr_t(e.addr),
                              size_t(e.len));
+            tctrs().punmaps.add(1);
             return;
         }
     }
@@ -240,6 +256,7 @@ RegionLayer::pstaticVar(const std::string &name, size_t size,
     c.fence();
     c.wtstoreT(&hdr_->vars[free_slot].state, uint64_t(2));
     c.fence();
+    tctrs().pstatic_vars.add(1);
     return varArea_ + offset;
 }
 

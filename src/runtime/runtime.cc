@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/stats_registry.h"
+#include "obs/trace_ring.h"
+
 namespace mnemosyne {
 
 namespace {
@@ -33,6 +36,7 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
         ownedScm_ = std::make_unique<scm::ScmContext>(cfg_.scm);
         scm::setCtx(ownedScm_.get());
     }
+    auto &tr = obs::TraceRing::instance();
 
     // 1. Reconstruct persistent regions: mapping-table scan (simulated
     //    OS boot) happens inside the region manager's constructor...
@@ -40,12 +44,16 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
     mgr_ = std::make_unique<region::RegionManager>(cfg_.region);
     auto t1 = clk::now();
     reinc_.region_reconstruct = t1 - t0;
+    tr.record(obs::TraceEv::kReincPhase, 1, 0,
+              uint64_t(reinc_.region_reconstruct.count()));
 
     // 2. ...then libmnemosyne remaps the process's regions.
     regions_ = std::make_unique<region::RegionLayer>(
         *mgr_, cfg_.static_region_bytes);
     auto t2 = clk::now();
     reinc_.region_remap = t2 - t1;
+    tr.record(obs::TraceEv::kReincPhase, 2, 0,
+              uint64_t(reinc_.region_remap.count()));
     region::setCurrentRegionLayer(regions_.get());
 
     // 3. Recover the persistent heap and scavenge its volatile indexes.
@@ -53,11 +61,15 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
                                           cfg_.big_heap_bytes);
     auto t3 = clk::now();
     reinc_.heap_scavenge = t3 - t2;
+    tr.record(obs::TraceEv::kReincPhase, 3, 0,
+              uint64_t(reinc_.heap_scavenge.count()));
 
     // 4. Replay completed but not flushed transactions.
     txns_ = std::make_unique<mtm::TxnManager>(*regions_, cfg_.txn);
     auto t4 = clk::now();
     reinc_.txn_replay = t4 - t3;
+    tr.record(obs::TraceEv::kReincPhase, 4, 0,
+              uint64_t(reinc_.txn_replay.count()));
     reinc_.replayed_txns = txns_->stats().replayed_txns;
 
     // 5. Reclaim staged allocations that never got linked (and staged
@@ -72,11 +84,30 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
         }
     }
 
+    statsSourceToken_ =
+        obs::StatsRegistry::instance().addSource([this](obs::Sink &sink) {
+            sink.emit("reinc.region_reconstruct_ns",
+                      uint64_t(reinc_.region_reconstruct.count()));
+            sink.emit("reinc.region_remap_ns",
+                      uint64_t(reinc_.region_remap.count()));
+            sink.emit("reinc.heap_scavenge_ns",
+                      uint64_t(reinc_.heap_scavenge.count()));
+            sink.emit("reinc.txn_replay_ns",
+                      uint64_t(reinc_.txn_replay.count()));
+            sink.emit("reinc.replayed_txns", uint64_t(reinc_.replayed_txns));
+            sink.emit("reinc.reclaimed_allocs",
+                      uint64_t(reinc_.reclaimed_allocs));
+        });
+
     gRuntime.store(this, std::memory_order_release);
 }
 
 Runtime::~Runtime()
 {
+    // Snapshot while every layer is still alive and registered; the
+    // dump itself only writes anything when MNEMOSYNE_STATS is on.
+    obs::shutdownDump();
+    obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     if (gRuntime.load(std::memory_order_acquire) == this)
         gRuntime.store(nullptr, std::memory_order_release);
     txns_.reset();     // drains async truncation

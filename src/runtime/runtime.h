@@ -164,6 +164,7 @@ class Runtime
     std::unique_ptr<mtm::TxnManager> txns_;
     void **staging_ = nullptr;   ///< 2*kMaxThreads persistent slots.
     ReincarnationStats reinc_;
+    uint64_t statsSourceToken_ = 0;
 };
 
 /** The process-wide runtime set by the most recent Runtime; null when

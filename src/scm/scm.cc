@@ -4,6 +4,9 @@
 #include <cassert>
 #include <random>
 
+#include "obs/stats_registry.h"
+#include "obs/trace_ring.h"
+
 namespace mnemosyne::scm {
 
 namespace {
@@ -47,10 +50,28 @@ setCtx(ScmContext *c)
 
 ScmContext::ScmContext(ScmConfig cfg) : cfg_(cfg), id_(nextCtxId())
 {
+    // Emit this context's primitive counts under "scm.*" whenever it is
+    // the context the free-function primitives resolve to.  Contexts
+    // that are alive but not current emit nothing, so one snapshot
+    // never mixes two emulators.
+    statsSourceToken_ =
+        obs::StatsRegistry::instance().addSource([this](obs::Sink &sink) {
+            if (&ctx() != this)
+                return;
+            const ScmStats s = statsSnapshot();
+            sink.emit("scm.stores", s.stores);
+            sink.emit("scm.wtstores", s.wtstores);
+            sink.emit("scm.flushes", s.flushes);
+            sink.emit("scm.fences", s.fences);
+            sink.emit("scm.bytes_streamed", s.bytes_streamed);
+            sink.emit("scm.bytes_stored", s.bytes_stored);
+            sink.emit("scm.delay_ns", s.delay_ns);
+        });
 }
 
 ScmContext::~ScmContext()
 {
+    obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     if (gCurrent.load(std::memory_order_acquire) == this)
         setCtx(nullptr);
 }
@@ -79,6 +100,10 @@ void
 ScmContext::hookEvent(Event ev, const void *addr, size_t len)
 {
     const uint64_t n = eventNo_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Fast path: no hook installed (every production run) — skip the
+    // mutex so the primitives stay lock-free here.
+    if (!hasHook_.load(std::memory_order_acquire))
+        return;
     WriteHook h;
     {
         std::lock_guard<std::mutex> g(hookMu_);
@@ -93,6 +118,7 @@ ScmContext::setWriteHook(WriteHook hook)
 {
     std::lock_guard<std::mutex> g(hookMu_);
     hook_ = std::move(hook);
+    hasHook_.store(hook_ != nullptr, std::memory_order_release);
 }
 
 void
@@ -124,8 +150,10 @@ ScmContext::store(void *addr, const void *src, size_t len)
 {
     if (halted_.load(std::memory_order_acquire))
         return;
-    nStores_.fetch_add(1, std::memory_order_relaxed);
-    bytesStored_.fetch_add(len, std::memory_order_relaxed);
+    nStores_.add(1);
+    bytesStored_.add(len);
+    obs::TraceRing::instance().record(obs::TraceEv::kStore,
+                                      uintptr_t(addr), len);
     hookEvent(Event::kStore, addr, len);
     if (!cfg_.failure_tracking) {
         std::memcpy(addr, src, len);
@@ -149,8 +177,10 @@ ScmContext::wtstore(void *addr, const void *src, size_t len)
 {
     if (halted_.load(std::memory_order_acquire))
         return;
-    nWtStores_.fetch_add(1, std::memory_order_relaxed);
-    bytesStreamed_.fetch_add(len, std::memory_order_relaxed);
+    nWtStores_.add(1);
+    bytesStreamed_.add(len);
+    obs::TraceRing::instance().record(obs::TraceEv::kWtStore,
+                                      uintptr_t(addr), len);
     hookEvent(Event::kWtStore, addr, len);
     ThreadScm &t = self();
     if (t.wtBytesSinceFence == 0)
@@ -170,7 +200,9 @@ ScmContext::flush(const void *addr)
 {
     if (halted_.load(std::memory_order_acquire))
         return;
-    nFlushes_.fetch_add(1, std::memory_order_relaxed);
+    nFlushes_.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kFlush,
+                                      uintptr_t(addr), kCacheLineSize);
     hookEvent(Event::kFlush, addr, kCacheLineSize);
     if (cfg_.failure_tracking) {
         // Claim the line's cached writes: they are now issued toward SCM
@@ -223,7 +255,8 @@ ScmContext::fence()
 {
     if (halted_.load(std::memory_order_acquire))
         return;
-    nFences_.fetch_add(1, std::memory_order_relaxed);
+    nFences_.add(1);
+    obs::TraceRing::instance().record(obs::TraceEv::kFence);
     hookEvent(Event::kFence, nullptr, 0);
     ThreadScm &t = self();
 
@@ -358,12 +391,12 @@ ScmStats
 ScmContext::statsSnapshot() const
 {
     ScmStats s;
-    s.stores = nStores_.load(std::memory_order_relaxed);
-    s.wtstores = nWtStores_.load(std::memory_order_relaxed);
-    s.flushes = nFlushes_.load(std::memory_order_relaxed);
-    s.fences = nFences_.load(std::memory_order_relaxed);
-    s.bytes_streamed = bytesStreamed_.load(std::memory_order_relaxed);
-    s.bytes_stored = bytesStored_.load(std::memory_order_relaxed);
+    s.stores = nStores_.sum();
+    s.wtstores = nWtStores_.sum();
+    s.flushes = nFlushes_.sum();
+    s.fences = nFences_.sum();
+    s.bytes_streamed = bytesStreamed_.sum();
+    s.bytes_stored = bytesStored_.sum();
     s.delay_ns = account_.totalNs();
     return s;
 }
@@ -371,12 +404,12 @@ ScmContext::statsSnapshot() const
 void
 ScmContext::resetStats()
 {
-    nStores_ = 0;
-    nWtStores_ = 0;
-    nFlushes_ = 0;
-    nFences_ = 0;
-    bytesStreamed_ = 0;
-    bytesStored_ = 0;
+    nStores_.reset();
+    nWtStores_.reset();
+    nFlushes_.reset();
+    nFences_.reset();
+    bytesStreamed_.reset();
+    bytesStored_.reset();
     account_.reset();
 }
 

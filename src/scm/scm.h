@@ -53,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "scm/latency.h"
 
 namespace mnemosyne::scm {
@@ -287,10 +288,15 @@ class ScmContext
 
     mutable std::mutex hookMu_;
     WriteHook hook_;
+    std::atomic<bool> hasHook_{false};  ///< Skip hookMu_ when no hook set.
 
-    // Stats (relaxed atomics; snapshot may be slightly stale).
-    std::atomic<uint64_t> nStores_{0}, nWtStores_{0}, nFlushes_{0},
-        nFences_{0}, bytesStreamed_{0}, bytesStored_{0};
+    // Stats: lock-free per-thread-sharded counters; a snapshot sums the
+    // shards (never torn, at worst slightly stale).  This context also
+    // registers itself with the obs::StatsRegistry and emits these
+    // values under "scm.*" whenever it is the current context.
+    obs::ShardedCounter nStores_, nWtStores_, nFlushes_, nFences_,
+        bytesStreamed_, bytesStored_;
+    uint64_t statsSourceToken_ = 0;
 };
 
 /** The process-wide current SCM context (a default context if unset). */
