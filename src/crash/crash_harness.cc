@@ -5,12 +5,20 @@
 
 namespace mnemosyne::crash {
 
-CrashPoint::CrashPoint(scm::ScmContext &c, uint64_t at) : c_(c)
+CrashPoint::CrashPoint(scm::ScmContext &c, uint64_t at, bool halt_on_fire)
+    : c_(c)
 {
-    c_.setWriteHook([this, at](uint64_t n, scm::ScmContext::Event,
-                               const void *, size_t) {
+    c_.setWriteHook([this, at, halt_on_fire](uint64_t n,
+                                             scm::ScmContext::Event,
+                                             const void *, size_t) {
         if (!fired_ && n >= at) {
             fired_ = true;
+            firedEvent_ = n;
+            // The machine dies *now*: with halt_on_fire, no write issued
+            // by unwinding code can reach SCM, so the post-crash image
+            // depends only on the pre-crash history and the crash mode.
+            if (halt_on_fire)
+                c_.haltNow();
             throw scm::CrashNow{n};
         }
     });
@@ -40,22 +48,34 @@ StressEngine::opTargets(uint64_t seed, uint64_t op, size_t *idx,
     }
 }
 
+void
+StressEngine::runOps(uint64_t total_ops, uint64_t *committed)
+{
+    for (uint64_t op = 0; op < total_ops; ++op) {
+        size_t idx[kWordsPerOp];
+        uint64_t val[kWordsPerOp];
+        opTargets(seed_, op, idx, val);
+        rt_.atomic([&](mtm::Txn &tx) {
+            for (int k = 0; k < kWordsPerOp; ++k)
+                tx.writeT<uint64_t>(&arr_[idx[k]], val[k]);
+        });
+        ++*committed;
+    }
+}
+
 uint64_t
 StressEngine::run(scm::ScmContext &c, uint64_t total_ops,
                   uint64_t crash_at_event)
 {
     uint64_t committed = 0;
+    lastCrashEvent_ = 0;
     try {
         CrashPoint cp(c, crash_at_event);
-        for (uint64_t op = 0; op < total_ops; ++op) {
-            size_t idx[kWordsPerOp];
-            uint64_t val[kWordsPerOp];
-            opTargets(seed_, op, idx, val);
-            rt_.atomic([&](mtm::Txn &tx) {
-                for (int k = 0; k < kWordsPerOp; ++k)
-                    tx.writeT<uint64_t>(&arr_[idx[k]], val[k]);
-            });
-            ++committed;
+        try {
+            runOps(total_ops, &committed);
+        } catch (...) {
+            lastCrashEvent_ = cp.firedEvent();
+            throw;
         }
     } catch (const scm::CrashNow &) {
     }
@@ -64,7 +84,7 @@ StressEngine::run(scm::ScmContext &c, uint64_t total_ops,
 
 StressResult
 StressEngine::verify(Runtime &rt, uint64_t seed, uint64_t committed_ops,
-                     const std::string &array_name)
+                     const std::string &array_name, uint64_t crash_event)
 {
     auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
         array_name, kWords * sizeof(uint64_t), nullptr));
@@ -83,13 +103,16 @@ StressEngine::verify(Runtime &rt, uint64_t seed, uint64_t committed_ops,
 
     StressResult res;
     res.committed_ops = committed_ops;
+    res.crash_event = crash_event;
     const auto exact = image(committed_ops);
     const auto plus_one = image(committed_ops + 1);
     bool match_exact = true, match_next = true;
     size_t bad = kWords;
+    size_t n_bad = 0;
     for (size_t i = 0; i < kWords; ++i) {
         if (arr[i] != exact[i]) {
             match_exact = false;
+            ++n_bad;
             if (bad == kWords)
                 bad = i;
         }
@@ -98,9 +121,18 @@ StressEngine::verify(Runtime &rt, uint64_t seed, uint64_t committed_ops,
     }
     res.verified = match_exact || match_next;
     if (!res.verified) {
+        res.bad_index = bad;
+        res.expected = exact[bad];
+        res.actual = arr[bad];
+        res.mismatched_words = n_bad;
         std::ostringstream os;
         os << "word " << bad << ": have 0x" << std::hex << arr[bad]
-           << " want 0x" << exact[bad];
+           << " want 0x" << exact[bad] << std::dec << " ("
+           << n_bad << "/" << kWords << " words differ, committed "
+           << committed_ops;
+        if (crash_event)
+            os << ", crash at event " << crash_event;
+        os << ")";
         res.mismatch = os.str();
     }
     return res;

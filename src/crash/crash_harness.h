@@ -26,13 +26,15 @@ namespace mnemosyne::crash {
 
 /**
  * One-shot crash injector: fires CrashNow at the first persistence
- * event >= @p at, then lets unwinding code proceed (its writes are
- * reverted by ScmContext::crash()).
+ * event >= @p at.  By default the context is halted at that instant
+ * (haltNow), so code unwinding past the crash point cannot alter the
+ * post-crash image; pass halt_on_fire = false for the legacy behavior
+ * where unwinding writes proceed and are resolved by crash().
  */
 class CrashPoint
 {
   public:
-    CrashPoint(scm::ScmContext &c, uint64_t at);
+    CrashPoint(scm::ScmContext &c, uint64_t at, bool halt_on_fire = true);
     ~CrashPoint();
 
     CrashPoint(const CrashPoint &) = delete;
@@ -40,9 +42,13 @@ class CrashPoint
 
     bool fired() const { return fired_; }
 
+    /** The event number the crash fired at (0 when !fired()). */
+    uint64_t firedEvent() const { return firedEvent_; }
+
   private:
     scm::ScmContext &c_;
     bool fired_ = false;
+    uint64_t firedEvent_ = 0;
 };
 
 /** Result of one crash-stress round. */
@@ -51,6 +57,14 @@ struct StressResult {
     bool crashed = false;         ///< Whether the injected crash fired.
     bool verified = false;        ///< Post-recovery state matched.
     std::string mismatch;         ///< Diagnostic when !verified.
+
+    // Failure forensics (valid when !verified), so a sweep failure is
+    // actionable without re-running under a debugger:
+    size_t bad_index = 0;         ///< First mismatching word index.
+    uint64_t expected = 0;        ///< Expected value of that word.
+    uint64_t actual = 0;          ///< Value found in persistent memory.
+    size_t mismatched_words = 0;  ///< Total words that differ.
+    uint64_t crash_event = 0;     ///< Event the crash fired at (0 = n/a).
 };
 
 /**
@@ -73,22 +87,39 @@ class StressEngine
                  uint64_t crash_at_event);
 
     /**
+     * Run ops with no crash point of its own: CrashNow from an external
+     * injector (the sweeper's driver) propagates.  @p committed is
+     * updated after every completed op so the caller sees the committed
+     * prefix even when an exception unwinds.
+     */
+    void runOps(uint64_t total_ops, uint64_t *committed);
+
+    /** Event number the last run()'s injected crash fired at (0 if it
+     *  completed without crashing). */
+    uint64_t lastCrashEvent() const { return lastCrashEvent_; }
+
+    /**
      * After recovery (fresh runtime on the same backing files): check
      * the array against the committed prefix (allowing the one
-     * ambiguous in-flight op).
+     * ambiguous in-flight op).  @p crash_event, when known, is embedded
+     * in the failure diagnostics.
      */
     static StressResult verify(Runtime &rt, uint64_t seed,
                                uint64_t committed_ops,
                                const std::string &array_name =
-                                   "crash_stress");
+                                   "crash_stress",
+                               uint64_t crash_event = 0);
 
-  private:
+    /** The seeded (index, value) targets of op @p op — public so sweep
+     *  scenarios can replay the expected image. */
     static void opTargets(uint64_t seed, uint64_t op, size_t *idx,
                           uint64_t *val);
 
+  private:
     Runtime &rt_;
     uint64_t seed_;
     uint64_t *arr_;
+    uint64_t lastCrashEvent_ = 0;
 };
 
 /**

@@ -16,7 +16,8 @@ asyncTruncHist()
 
 } // namespace
 
-TruncationThread::TruncationThread() : worker_([this] { run(); })
+TruncationThread::TruncationThread()
+    : parentCtx_(&scm::ctx()), worker_([this] { run(); })
 {
 }
 
@@ -86,6 +87,7 @@ TruncationThread::backlog() const
 void
 TruncationThread::run()
 {
+    scm::setThreadCtx(parentCtx_);
     for (;;) {
         Task task;
         {

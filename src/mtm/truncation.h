@@ -20,6 +20,10 @@
 
 #include "log/rawl.h"
 
+namespace mnemosyne::scm {
+class ScmContext;
+}
+
 namespace mnemosyne::mtm {
 
 class TruncationThread
@@ -53,6 +57,14 @@ class TruncationThread
     static constexpr size_t kEagerWakeBacklog = 48;
 
     void run();
+
+    /**
+     * The SCM context of the thread that created this truncator,
+     * installed as the worker thread's context override.  A sweep
+     * worker's runtime (and its truncation thread) must write through
+     * that worker's private emulator, not the process-wide one.
+     */
+    scm::ScmContext *parentCtx_;
 
     std::mutex mu_;
     std::condition_variable cv_;

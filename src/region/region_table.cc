@@ -114,20 +114,78 @@ RegionLayer::formatStaticRegion(size_t static_bytes)
     c.fence();
 }
 
+bool
+RegionLayer::mappedNow(uintptr_t addr) const
+{
+    const auto base = reinterpret_cast<uintptr_t>(hdr_);
+    if (addr >= base && addr + sizeof(void *) <= base + hdr_->staticBytes)
+        return true;
+    for (const auto &e : hdr_->table) {
+        if (e.state == 2 && addr >= e.addr &&
+            addr + sizeof(void *) <= e.addr + e.len)
+            return true;
+    }
+    return false;
+}
+
+void
+RegionLayer::reconcileSlot(RegionEntry &e, bool expect_mapped)
+{
+    // Only dereference the recorded cell if it lies in memory that is
+    // mapped right now (the static region or a valid dynamic region) —
+    // a cell inside a region that is itself being destroyed is gone
+    // along with the data it pointed to.
+    if (e.slotAddr == 0 || !mappedNow(e.slotAddr))
+        return;
+    auto &c = scm::ctx();
+    auto **slot = reinterpret_cast<void **>(e.slotAddr);
+    auto *region_addr = reinterpret_cast<void *>(e.addr);
+    if (expect_mapped) {
+        // Redo the publish: valid region, but the crash dropped the
+        // pointer write — without this the region would be unreachable
+        // (leaked) even though the table still maps it.
+        if (*slot != region_addr) {
+            c.wtstoreT<void *>(slot, region_addr);
+            c.fence();
+        }
+    } else {
+        // Undo the publish: the region is being destroyed; clear the
+        // cell only if it still points at it, so it cannot dangle.
+        if (*slot == region_addr) {
+            c.wtstoreT<void *>(slot, static_cast<void *>(nullptr));
+            c.fence();
+        }
+    }
+}
+
 void
 RegionLayer::recoverRegions()
 {
     auto &c = scm::ctx();
+    // Pass 1: re-map every valid region, so client pointer cells that
+    // live inside dynamic regions are addressable during pass 2.
     for (size_t i = 0; i < std::size(hdr_->table); ++i) {
         RegionEntry &e = hdr_->table[i];
-        if (e.state == 1) {
-            // Partially created region: destroy it (intention log).
+        if (e.state == 2) {
+            mgr_.mapFile(slotFileName(i), size_t(e.len),
+                         uintptr_t(e.addr));
+        }
+    }
+    // Pass 2: replay the intention log and reconcile publication slots.
+    for (size_t i = 0; i < std::size(hdr_->table); ++i) {
+        RegionEntry &e = hdr_->table[i];
+        if (e.state == 1 || e.state == 3) {
+            // Partially created (1) or partially destroyed (3) region:
+            // roll backward/forward to "no region", nullifying the
+            // client's cell first so it cannot dangle.
+            reconcileSlot(e, /*expect_mapped=*/false);
             mgr_.destroyFile(slotFileName(i), 0, 0);
             c.wtstoreT(&e.state, uint64_t(0));
             c.fence();
         } else if (e.state == 2) {
-            mgr_.mapFile(slotFileName(i), size_t(e.len),
-                         uintptr_t(e.addr));
+            // Valid region whose publish write may have been torn off
+            // by the crash: redo it from the logged slot address.
+            reconcileSlot(e, /*expect_mapped=*/true);
         }
     }
     for (auto &v : hdr_->vars) {
@@ -163,9 +221,12 @@ RegionLayer::pmap(void **persistent_slot, size_t len, uint64_t flags)
                                  "exhausted");
     c.wtstoreT(&hdr_->nextVa, addr + len);
 
-    // Intention-log protocol: record the entry as in-progress, create
-    // the backing file, then durably mark it valid (section 4.2).
-    RegionEntry e{addr, len, flags, 1};
+    // Intention-log protocol: record the entry as in-progress (with the
+    // client's pointer cell, so recovery can reconcile the publication
+    // write), create the backing file, then durably mark it valid
+    // (section 4.2).
+    RegionEntry e{addr, len, flags, 1,
+                  uint64_t(reinterpret_cast<uintptr_t>(persistent_slot))};
     c.wtstore(&hdr_->table[slot], &e, sizeof(e));
     c.fence();
 
@@ -197,10 +258,22 @@ RegionLayer::punmap(void *addr, size_t len)
         if (e.state == 2 && e.addr == reinterpret_cast<uintptr_t>(addr)) {
             assert(len == e.len && "partial punmap is not supported");
             (void)len;
-            c.wtstoreT(&e.state, uint64_t(0));
+            // Destruction intent first: once durable, recovery rolls the
+            // punmap forward (nullify the client's cell, destroy the
+            // file, free the entry) no matter where the crash lands.
+            c.wtstoreT(&e.state, uint64_t(3));
             c.fence();
+            if (e.slotAddr && mappedNow(e.slotAddr)) {
+                auto **slot = reinterpret_cast<void **>(e.slotAddr);
+                if (*slot == addr) {
+                    c.wtstoreT<void *>(slot, static_cast<void *>(nullptr));
+                    c.fence();
+                }
+            }
             mgr_.destroyFile(slotFileName(i), uintptr_t(e.addr),
                              size_t(e.len));
+            c.wtstoreT(&e.state, uint64_t(0));
+            c.fence();
             tctrs().punmaps.add(1);
             return;
         }

@@ -103,7 +103,18 @@ class RegionLayer
         uint64_t addr;
         uint64_t len;
         uint64_t flags;
-        uint64_t state;     ///< 0 free, 1 intent, 2 valid.
+        uint64_t state;     ///< 0 free, 1 create intent, 2 valid,
+                            ///< 3 punmap intent.
+        /**
+         * Address of the client's persistent pointer cell (0 if none).
+         * Recording it in the intention log closes the publication
+         * windows the crash sweeper exposed: a crash between "entry
+         * valid" and "slot written" (or, during punmap, between "slot
+         * nullified" and "entry freed") leaves the two words torn under
+         * adversarial persistence; recovery reconciles the slot from
+         * the entry, so a region can neither leak nor dangle.
+         */
+        uint64_t slotAddr;
     };
 
     struct PVarEntry {
@@ -113,8 +124,9 @@ class RegionLayer
         uint64_t state;     ///< 0 free, 1 intent, 2 valid.
     };
 
-    /** Header at the base of the static region.  The region table is
-     *  16 KB (512 slots), as in the paper. */
+    /** Header at the base of the static region.  The region table keeps
+     *  the paper's 512 slots (grown from its 16 KB by the per-entry
+     *  slot-address word). */
     struct StaticHeader {
         uint64_t magic;
         uint64_t staticBytes;
@@ -124,11 +136,13 @@ class RegionLayer
         PVarEntry vars[256];
     };
 
-    static constexpr uint64_t kMagic = 0x4d4e535441543031ULL; // "MNSTAT01"
+    static constexpr uint64_t kMagic = 0x4d4e535441543032ULL; // "MNSTAT02"
 
     static std::string slotFileName(size_t slot);
     void formatStaticRegion(size_t static_bytes);
     void recoverRegions();
+    bool mappedNow(uintptr_t addr) const;
+    void reconcileSlot(RegionEntry &e, bool expect_mapped);
 
     RegionManager &mgr_;
     StaticHeader *hdr_ = nullptr;

@@ -12,6 +12,7 @@ namespace mnemosyne::scm {
 namespace {
 
 std::atomic<ScmContext *> gCurrent{nullptr};
+thread_local ScmContext *tCurrent = nullptr;
 
 ScmContext &
 defaultCtx()
@@ -38,6 +39,8 @@ nextCtxId()
 ScmContext &
 ctx()
 {
+    if (tCurrent)
+        return *tCurrent;
     ScmContext *c = gCurrent.load(std::memory_order_acquire);
     return c ? *c : defaultCtx();
 }
@@ -46,6 +49,30 @@ void
 setCtx(ScmContext *c)
 {
     gCurrent.store(c, std::memory_order_release);
+}
+
+ScmContext *
+threadCtx()
+{
+    return tCurrent;
+}
+
+void
+setThreadCtx(ScmContext *c)
+{
+    tCurrent = c;
+}
+
+const char *
+eventName(ScmContext::Event ev)
+{
+    switch (ev) {
+      case ScmContext::Event::kStore: return "store";
+      case ScmContext::Event::kWtStore: return "wtstore";
+      case ScmContext::Event::kFlush: return "flush";
+      case ScmContext::Event::kFence: return "fence";
+    }
+    return "?";
 }
 
 ScmContext::ScmContext(ScmConfig cfg) : cfg_(cfg), id_(nextCtxId())
@@ -72,6 +99,8 @@ ScmContext::ScmContext(ScmConfig cfg) : cfg_(cfg), id_(nextCtxId())
 ScmContext::~ScmContext()
 {
     obs::StatsRegistry::instance().removeSource(statsSourceToken_);
+    if (tCurrent == this)
+        tCurrent = nullptr;
     if (gCurrent.load(std::memory_order_acquire) == this)
         setCtx(nullptr);
 }

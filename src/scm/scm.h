@@ -196,6 +196,15 @@ class ScmContext
      */
     uint64_t crash(bool halt_after = false);
 
+    /**
+     * Halt without computing the crash image yet: the machine is "dead"
+     * from this instant — all later writes are no-ops — but the failure
+     * journal is kept so a subsequent crash() resolves what survived.
+     * Crash-point hooks call this before throwing CrashNow so that
+     * unwinding code cannot contaminate the post-crash image.
+     */
+    void haltNow() { halted_.store(true, std::memory_order_release); }
+
     bool halted() const { return halted_.load(std::memory_order_acquire); }
 
     /** Clean shutdown: everything reaches SCM; journal cleared. */
@@ -299,13 +308,31 @@ class ScmContext
     uint64_t statsSourceToken_ = 0;
 };
 
-/** The process-wide current SCM context (a default context if unset). */
+/** Human-readable name of a persistence event kind. */
+const char *eventName(ScmContext::Event ev);
+
+/**
+ * The current SCM context: the calling thread's override if one is
+ * installed (setThreadCtx), else the process-wide context (setCtx),
+ * else a shared default context.
+ */
 ScmContext &ctx();
 
-/** Install @p c as the current context; nullptr restores the default. */
+/** Install @p c as the process-wide context; nullptr restores default. */
 void setCtx(ScmContext *c);
 
-/** RAII installation of a context, for tests. */
+/**
+ * Per-thread override of the current context.  The crash-consistency
+ * sweeper runs one isolated emulator per worker thread; every layer
+ * resolves its primitives through ctx(), so the override confines a
+ * worker's writes (and its crash) to its own emulator.  Threads spawned
+ * by the runtime while an override is active (the async truncation
+ * worker) install their creator's context themselves.
+ */
+ScmContext *threadCtx();
+void setThreadCtx(ScmContext *c);
+
+/** RAII installation of a process-wide context, for tests. */
 class ScopedCtx
 {
   public:
@@ -313,6 +340,22 @@ class ScopedCtx
     ~ScopedCtx() { setCtx(nullptr); }
     ScopedCtx(const ScopedCtx &) = delete;
     ScopedCtx &operator=(const ScopedCtx &) = delete;
+};
+
+/** RAII installation of a per-thread context override (sweep workers). */
+class ScopedThreadCtx
+{
+  public:
+    explicit ScopedThreadCtx(ScmContext &c) : prev_(threadCtx())
+    {
+        setThreadCtx(&c);
+    }
+    ~ScopedThreadCtx() { setThreadCtx(prev_); }
+    ScopedThreadCtx(const ScopedThreadCtx &) = delete;
+    ScopedThreadCtx &operator=(const ScopedThreadCtx &) = delete;
+
+  private:
+    ScmContext *prev_;
 };
 
 /** Free-function forms of the primitives on the current context. @{ */

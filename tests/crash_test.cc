@@ -41,7 +41,7 @@ rtCfg(const std::string &dir)
 
 } // namespace
 
-TEST(CrashPoint, FiresExactlyOnce)
+TEST(CrashPoint, FiresExactlyOnceAndHaltsTheMachine)
 {
     scm::ScmContext c{scm::ScmConfig{}};
     uint64_t word = 0;
@@ -51,8 +51,13 @@ TEST(CrashPoint, FiresExactlyOnce)
         EXPECT_FALSE(cp.fired());
         EXPECT_THROW(c.wtstoreT<uint64_t>(&word, 2), scm::CrashNow);
         EXPECT_TRUE(cp.fired());
-        // One-shot: unwinding code may keep issuing writes.
+        EXPECT_EQ(cp.firedEvent(), c.eventCount());
+        // The machine died at the crash instant: unwinding code may keep
+        // issuing writes, but they are silent no-ops and cannot alter
+        // the post-crash image.
+        EXPECT_TRUE(c.halted());
         EXPECT_NO_THROW(c.wtstoreT<uint64_t>(&word, 3));
+        EXPECT_EQ(word, 1u);
     }
 }
 
@@ -68,18 +73,22 @@ TEST(FlipRandomBits, FlipsAreReal)
     EXPECT_LE(set_bits, 5u); // collisions can cancel
 }
 
-class StressSweep : public ::testing::TestWithParam<uint64_t>
+class StressSweep
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, scm::CrashPersistMode>>
 {
 };
 
 TEST_P(StressSweep, MemoryMatchesCommittedPrefix)
 {
-    const uint64_t seed = GetParam();
+    const uint64_t seed = std::get<0>(GetParam());
+    const auto mode = std::get<1>(GetParam());
     TempDir dir;
     uint64_t committed = 0;
+    uint64_t crash_event = 0;
     {
         scm::ScmConfig sc;
-        sc.crash_mode = scm::CrashPersistMode::kRandomSubset;
+        sc.crash_mode = mode;
         sc.crash_seed = seed ^ 0x5eed;
         scm::ScmContext c(sc);
         scm::ScopedCtx guard(c);
@@ -88,19 +97,31 @@ TEST_P(StressSweep, MemoryMatchesCommittedPrefix)
         std::mt19937_64 rng(seed);
         committed =
             eng.run(c, 300, c.eventCount() + 50 + rng() % 4000);
+        crash_event = eng.lastCrashEvent();
         c.crash(true);
     }
     scm::ScmContext c2{scm::ScmConfig{}};
     scm::ScopedCtx guard2(c2);
     Runtime rt(rtCfg(dir.path()));
-    const auto res = crash::StressEngine::verify(rt, seed, committed);
+    const auto res = crash::StressEngine::verify(rt, seed, committed,
+                                                 "crash_stress",
+                                                 crash_event);
     EXPECT_TRUE(res.verified)
-        << "seed " << seed << " committed " << committed << ": "
+        << "seed " << seed << " mode " << int(mode) << ": "
         << res.mismatch;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
-                         ::testing::Range<uint64_t>(0, 40));
+// Every seed crossed with every crash-persistence model: the strict
+// drop-unfenced and keep-issued models, the flush-on-fail keep-all
+// model, and the adversarial random-subset model.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, StressSweep,
+    ::testing::Combine(
+        ::testing::Range<uint64_t>(0, 10),
+        ::testing::Values(scm::CrashPersistMode::kDropUnfenced,
+                          scm::CrashPersistMode::kKeepIssued,
+                          scm::CrashPersistMode::kKeepAll,
+                          scm::CrashPersistMode::kRandomSubset)));
 
 TEST(TornBitHarness, TornBitFlipsTruncateToExactPrefix)
 {
@@ -152,5 +173,71 @@ TEST(TornBitHarness, TornBitFlipsTruncateToExactPrefix)
             ++i;
         }
         EXPECT_EQ(i, boundary) << "seed " << seed << " victim " << victim;
+    }
+}
+
+TEST(TornBitHarness, RandomSubsetSurvivalSweepRecoversExactPrefix)
+{
+    // Adversarial-persistence property sweep over the tornbit append
+    // protocol: 256 kRandomSubset survival seeds, each crashing at a
+    // seeded point inside a sequence of append+flush bursts.  Whatever
+    // random subset of the in-flight words reaches SCM, recovery must
+    // yield an exact, uncorrupted record prefix that includes every
+    // record whose flush completed before the crash.
+    constexpr int kRecords = 8;
+    auto wordOf = [](uint64_t seed, int r, size_t j) {
+        return ((seed << 32) | (uint64_t(r) << 8) | j) &
+               mlog::Rawl::kPayloadMask;
+    };
+    for (uint64_t seed = 0; seed < 256; ++seed) {
+        std::vector<uint64_t> arena(4096 / 8, 0);
+        size_t flushed = 0;
+        bool crashed = false;
+        {
+            scm::ScmConfig sc;
+            sc.crash_mode = scm::CrashPersistMode::kRandomSubset;
+            sc.crash_seed = seed;
+            scm::ScmContext c(sc);
+            scm::ScopedCtx guard(c);
+            auto log = mlog::Rawl::create(arena.data(), 4096);
+            c.persistAll();
+            std::mt19937_64 rng(seed * 7919 + 1);
+            try {
+                crash::CrashPoint cp(c, c.eventCount() + 1 + rng() % 18);
+                for (int r = 0; r < kRecords; ++r) {
+                    uint64_t rec[4];
+                    const size_t n = 1 + size_t(r) % 4;
+                    for (size_t j = 0; j < n; ++j)
+                        rec[j] = wordOf(seed, r, j);
+                    log->append(rec, n);
+                    log->flush();
+                    ++flushed;
+                }
+            } catch (const scm::CrashNow &) {
+                crashed = true;
+            }
+            c.crash(true);
+        }
+        scm::ScmContext c2{scm::ScmConfig{}};
+        scm::ScopedCtx guard2(c2);
+        auto re = mlog::Rawl::open(arena.data());
+        ASSERT_NE(re, nullptr) << "seed " << seed;
+        auto cur = re->begin();
+        std::vector<uint64_t> out;
+        size_t i = 0;
+        while (re->readRecord(cur, out)) {
+            ASSERT_LT(i, size_t(kRecords)) << "seed " << seed;
+            const size_t n = 1 + i % 4;
+            ASSERT_EQ(out.size(), n) << "seed " << seed << " record " << i;
+            for (size_t j = 0; j < n; ++j)
+                EXPECT_EQ(out[j], wordOf(seed, int(i), j))
+                    << "seed " << seed << " record " << i;
+            ++i;
+        }
+        // Durability: every record whose flush() returned before the
+        // crash must have survived it.
+        EXPECT_GE(i, flushed) << "seed " << seed;
+        if (!crashed)
+            EXPECT_EQ(i, size_t(kRecords)) << "seed " << seed;
     }
 }

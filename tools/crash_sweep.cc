@@ -1,0 +1,225 @@
+/**
+ * @file
+ * crash_sweep: exhaustive crash-consistency sweep CLI.
+ *
+ * Enumerates every persistence event of each scenario's workload and
+ * crashes at each one under every requested persistence mode (and seed,
+ * for the adversarial random-subset mode), verifying the layer's
+ * invariant after reincarnation.  Every failure prints a deterministic
+ * repro spec replayable with --repro.
+ *
+ * Examples:
+ *   crash_sweep --all                       # full sweep, all scenarios
+ *   crash_sweep --scenario heap --jobs 8    # one scenario
+ *   crash_sweep --all --stride 5 --rand-seeds 2 --budget-ms 60000
+ *   crash_sweep --repro heap:217:rand:3     # replay one failure
+ *   crash_sweep --with-bug --scenario bug_onefence   # sanity: must fail
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crash/scenario.h"
+#include "crash/sweep.h"
+
+namespace crash = mnemosyne::crash;
+namespace scm = mnemosyne::scm;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--all] [--scenario NAME]... [--list]\n"
+        "          [--modes drop,keep,all,rand] [--rand-seeds N]\n"
+        "          [--jobs N] [--stride N] [--max-trials N]\n"
+        "          [--budget-ms N] [--tmp-root DIR] [--with-bug]\n"
+        "          [--json] [--repro SCENARIO:EVENT:MODE:SEED]\n"
+        "\n"
+        "  --all            sweep every registered scenario\n"
+        "  --scenario NAME  sweep NAME (repeatable)\n"
+        "  --list           list registered scenarios and exit\n"
+        "  --modes LIST     crash persistence modes (default drop,keep,rand)\n"
+        "  --rand-seeds N   seeds per event for the rand mode (default 4)\n"
+        "  --jobs N         worker threads (default: cores, capped at 8)\n"
+        "  --stride N       crash at every Nth event (default 1 = all)\n"
+        "  --max-trials N   cap trials per scenario\n"
+        "  --budget-ms N    wall-clock budget; leftover trials are skipped\n"
+        "  --tmp-root DIR   parent dir for backing-file tmpdirs (default /tmp)\n"
+        "  --with-bug       also register the synthetic bug_onefence scenario\n"
+        "  --json           machine-readable report on stdout\n"
+        "  --repro SPEC     replay one trial and report its outcome\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseModes(const std::string &list, std::vector<scm::CrashPersistMode> *out)
+{
+    out->clear();
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        scm::CrashPersistMode m;
+        if (!crash::modeFromName(item, &m))
+            return false;
+        out->push_back(m);
+    }
+    return !out->empty();
+}
+
+void
+printJson(const crash::SweepReport &report)
+{
+    std::printf("{\n  \"scenarios\": [\n");
+    for (size_t i = 0; i < report.scenarios.size(); ++i) {
+        const auto &s = report.scenarios[i];
+        std::printf("    {\"name\": \"%s\", \"events\": %llu, "
+                    "\"trials\": %llu, \"skipped\": %llu, "
+                    "\"failures\": %llu, \"error\": \"%s\", "
+                    "\"repro\": [",
+                    s.scenario.c_str(),
+                    (unsigned long long)s.events,
+                    (unsigned long long)s.trials,
+                    (unsigned long long)s.skipped,
+                    (unsigned long long)s.failures, s.error.c_str());
+        for (size_t j = 0; j < s.failed.size(); ++j) {
+            std::printf("%s\"%s\"", j ? ", " : "",
+                        crash::formatSpec(s.failed[j].spec).c_str());
+        }
+        std::printf("]}%s\n", i + 1 < report.scenarios.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"trials\": %llu,\n  \"skipped\": %llu,\n"
+                "  \"failures\": %llu,\n  \"ok\": %s\n}\n",
+                (unsigned long long)report.trials,
+                (unsigned long long)report.skipped,
+                (unsigned long long)report.failures,
+                report.ok() ? "true" : "false");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    crash::SweepOptions opts;
+    std::vector<std::string> scenarios;
+    std::string repro;
+    bool all = false, list = false, with_bug = false, json = false;
+
+    auto needArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            return nullptr;
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = nullptr;
+        if (arg == "--all") {
+            all = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--with-bug") {
+            with_bug = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--scenario" && (v = needArg(i))) {
+            scenarios.push_back(v);
+        } else if (arg == "--modes" && (v = needArg(i))) {
+            if (!parseModes(v, &opts.modes)) {
+                std::fprintf(stderr, "bad --modes list: %s\n", v);
+                return 2;
+            }
+        } else if (arg == "--rand-seeds" && (v = needArg(i))) {
+            opts.random_seeds = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--jobs" && (v = needArg(i))) {
+            opts.workers = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--stride" && (v = needArg(i))) {
+            opts.stride = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--max-trials" && (v = needArg(i))) {
+            opts.max_trials = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--budget-ms" && (v = needArg(i))) {
+            opts.budget_ms = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--tmp-root" && (v = needArg(i))) {
+            opts.tmp_root = v;
+        } else if (arg == "--repro" && (v = needArg(i))) {
+            repro = v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    crash::registerBuiltinScenarios();
+    if (with_bug)
+        crash::registerSyntheticBugScenario();
+
+    if (list) {
+        for (const auto &name : crash::ScenarioRegistry::instance().names())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+
+    if (!repro.empty()) {
+        crash::SweepSpec spec;
+        if (!crash::parseSpec(repro, &spec)) {
+            std::fprintf(stderr, "bad repro spec: %s\n", repro.c_str());
+            return 2;
+        }
+        crash::Sweeper sweeper(opts);
+        const auto r = sweeper.runTrial(spec);
+        std::printf("%s: %s%s%s (crash %s, recovery %.1f us)\n",
+                    crash::formatSpec(spec).c_str(),
+                    r.passed ? "PASS" : "FAIL",
+                    r.detail.empty() ? "" : " — ", r.detail.c_str(),
+                    r.crashed ? "fired" : "did not fire",
+                    double(r.recovery_ns) / 1000.0);
+        return r.passed ? 0 : 1;
+    }
+
+    if (!all && scenarios.empty())
+        return usage(argv[0]);
+
+    crash::Sweeper sweeper(opts);
+    const auto report = sweeper.sweepAll(all ? std::vector<std::string>{}
+                                             : scenarios);
+
+    if (json) {
+        printJson(report);
+    } else {
+        for (const auto &s : report.scenarios) {
+            if (!s.error.empty()) {
+                std::printf("%-10s ERROR: %s\n", s.scenario.c_str(),
+                            s.error.c_str());
+                continue;
+            }
+            std::printf("%-10s %6llu events  %7llu trials  %5llu skipped"
+                        "  %5llu failures\n",
+                        s.scenario.c_str(), (unsigned long long)s.events,
+                        (unsigned long long)s.trials,
+                        (unsigned long long)s.skipped,
+                        (unsigned long long)s.failures);
+            for (const auto &f : s.failed) {
+                std::printf("  FAIL %s — %s\n",
+                            crash::formatSpec(f.spec).c_str(),
+                            f.detail.c_str());
+            }
+        }
+        std::printf("total: %llu trials, %llu skipped, %llu failures\n",
+                    (unsigned long long)report.trials,
+                    (unsigned long long)report.skipped,
+                    (unsigned long long)report.failures);
+        if (!report.ok()) {
+            std::printf("replay failures with: crash_sweep%s --repro "
+                        "<spec>\n",
+                        with_bug ? " --with-bug" : "");
+        }
+    }
+    return report.ok() ? 0 : 1;
+}
