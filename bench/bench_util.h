@@ -129,6 +129,22 @@ paperNote(const char *note)
 }
 
 /**
+ * Pull one numeric value out of a StatsRegistry jsonSnapshot() line.
+ * Returns 0 when the key is absent (e.g. a layer not linked in).  Used
+ * by benchmarks that derive per-operation rates from registered
+ * counters (which have no C++ lookup API by design).
+ */
+inline double
+statValue(const std::string &json, const std::string &key)
+{
+    const std::string pat = "\"" + key + "\":";
+    const auto p = json.find(pat);
+    if (p == std::string::npos)
+        return 0.0;
+    return std::atof(json.c_str() + p + pat.size());
+}
+
+/**
  * Emit one machine-readable result line when MNEMOSYNE_STATS is on:
  *
  *   {"bench":"<name>","metrics":{...},"stats":{"scm.fences":31,...}}

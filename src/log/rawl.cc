@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 #include "obs/obs.h"
@@ -22,6 +23,7 @@ struct RawlCounters {
     obs::Counter pass_flips{"rawl.pass_flips"};
     obs::Counter flushes{"rawl.flushes"};
     obs::Counter truncations{"rawl.truncations"};
+    obs::Histogram append_stall_ns{"rawl.append_stall_ns"};
 };
 
 RawlCounters &
@@ -223,8 +225,34 @@ Rawl::tryAppend(const uint64_t *words, size_t n)
 void
 Rawl::append(const uint64_t *words, size_t n)
 {
-    while (!tryAppend(words, n))
-        std::this_thread::yield();
+    if (tryAppend(words, n)) [[likely]]
+        return;
+
+    // Full log ("program threads may stall until there is free log
+    // space"): nudge the consumer, then wait with bounded backoff — a
+    // short burst of yields for the common quick-drain case, escalating
+    // to capped sleeps so a stalled producer does not burn a core while
+    // the truncator works through a deep backlog.
+    const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
+    uint64_t sleep_us = 0;
+    int spins = 0;
+    for (;;) {
+        if (spaceWaiter_)
+            spaceWaiter_();
+        if (spins < 64) {
+            ++spins;
+            std::this_thread::yield();
+        } else {
+            sleep_us = sleep_us == 0
+                           ? 1
+                           : std::min<uint64_t>(sleep_us * 2, 500);
+            std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        }
+        if (tryAppend(words, n))
+            break;
+    }
+    if (t0)
+        ctrs().append_stall_ns.record(obs::nowNs() - t0);
 }
 
 void

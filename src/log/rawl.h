@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -87,6 +88,18 @@ class Rawl
 
     /** Non-blocking append; returns false if the log is too full. */
     bool tryAppend(const uint64_t *words, size_t n);
+
+    /**
+     * Install a callback invoked while append() waits for free space —
+     * the log's owner uses it to nudge the asynchronous truncator so a
+     * full log drains promptly instead of waiting out the consumer's
+     * poll interval.  Not thread-safe against concurrent append();
+     * install before the producer thread starts using the log.
+     */
+    void setSpaceWaiter(std::function<void()> fn)
+    {
+        spaceWaiter_ = std::move(fn);
+    }
 
     /** Block until all prior appends have reached SCM (one fence). */
     void flush();
@@ -152,6 +165,7 @@ class Rawl
     // Producer-private cursor (tailShadow_ published after each append).
     uint64_t tail_ = 0;
     std::vector<uint64_t> stage_;   ///< Producer-private staging buffer.
+    std::function<void()> spaceWaiter_;  ///< Poked while append() stalls.
 };
 
 } // namespace mnemosyne::log

@@ -31,6 +31,11 @@ recoverTransactions(log::LogManager &logs)
             if (rec.empty())
                 continue;
             if (rec[0] == kTagCommit && rec.size() >= 2) {
+                // Staged commit record: [kTagCommit, ts, (addr, val)...].
+                // Any `pending` pairs are spilled chunks of the same
+                // (oversized) transaction and come first in replay order.
+                for (size_t i = 2; i + 1 < rec.size(); i += 2)
+                    pending.emplace_back(rec[i], rec[i + 1]);
                 committed.push_back(ReplayTxn{rec[1], std::move(pending)});
                 pending.clear();
             } else if (rec[0] == kTagAbort) {

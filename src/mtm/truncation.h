@@ -41,6 +41,14 @@ class TruncationThread
 
     void enqueue(Task task);
 
+    /**
+     * Wake the worker immediately.  Called from a producer stalled on a
+     * full log (Rawl space waiter): unlike enqueue(), which batches
+     * wakeups to stay off the commit critical path, a stalled producer
+     * is already blocked and wants the backlog drained now.
+     */
+    void nudge() { cv_.notify_one(); }
+
     /** Block until every enqueued task has been processed. */
     void drain();
 

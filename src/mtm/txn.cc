@@ -57,14 +57,13 @@ Txn::reset()
 void
 Txn::rollback()
 {
-    // Release every lock, restoring its pre-acquisition version, discard
-    // buffered updates, and mark the transaction aborted in the log so
-    // recovery never replays its entries (paper section 5).
-    for (auto &[lock, prev] : lockPrev_)
-        lock->store(prev, std::memory_order_release);
-    if (log_ && !writeWords_.empty()) {
-        logScratch_[0] = kTagAbort;
-        log_->append(logScratch_, 1);
+    // Release every lock, restoring its pre-acquisition version, and
+    // discard buffered updates.  Nothing reaches the log before commit,
+    // so an aborted transaction leaves no trace to invalidate (paper
+    // section 5; the staged-redo scheme makes aborts log-free).
+    for (const auto &it : lockPrev_) {
+        reinterpret_cast<LockTable::Word *>(it.key)->store(
+            it.val, std::memory_order_release);
     }
     for (auto it = abortHooks_.rbegin(); it != abortHooks_.rend(); ++it)
         (*it)();
@@ -85,15 +84,16 @@ void
 Txn::extend()
 {
     // Lazy snapshot extension: the snapshot can move forward to `now` if
-    // every read so far is still valid at its recorded version.
+    // every stripe read so far is still valid at its recorded version.
     const uint64_t now = mgr_.clock_.load(std::memory_order_acquire);
-    for (const auto &[lock, seen] : readSet_) {
+    for (const auto &it : readSet_) {
+        auto *lock = reinterpret_cast<LockTable::Word *>(it.key);
         const uint64_t cur = lock->load(std::memory_order_acquire);
-        if (cur == seen)
+        if (cur == it.val)
             continue;
         if (LockTable::isLocked(cur) && LockTable::owner(cur) == id_) {
-            auto it = lockPrev_.find(lock);
-            if (it != lockPrev_.end() && it->second == seen)
+            const uint64_t *prev = lockPrev_.find(it.key);
+            if (prev && *prev == it.val)
                 continue;
         }
         abort("snapshot extension failed");
@@ -104,17 +104,31 @@ Txn::extend()
 void
 Txn::validateOrAbort(const char *why)
 {
-    for (const auto &[lock, seen] : readSet_) {
+    for (const auto &it : readSet_) {
+        auto *lock = reinterpret_cast<LockTable::Word *>(it.key);
         const uint64_t cur = lock->load(std::memory_order_acquire);
-        if (cur == seen)
+        if (cur == it.val)
             continue;
         if (LockTable::isLocked(cur) && LockTable::owner(cur) == id_) {
-            auto it = lockPrev_.find(lock);
-            if (it != lockPrev_.end() && it->second == seen)
+            const uint64_t *prev = lockPrev_.find(it.key);
+            if (prev && *prev == it.val)
                 continue;
         }
         abort(why);
     }
+}
+
+void
+Txn::recordRead(LockTable::Word &lock, uint64_t seen)
+{
+    // One read-set entry per lock stripe.  A repeat read of a stripe
+    // whose version moved since the first read means another commit
+    // slipped between them; commit-time validation of the first entry
+    // would abort anyway, so fail fast here.
+    auto [val, inserted] = readSet_.insert(
+        reinterpret_cast<uintptr_t>(&lock), seen);
+    if (!inserted && *val != seen)
+        abort("stripe version changed between reads");
 }
 
 void
@@ -131,7 +145,7 @@ Txn::acquire(LockTable::Word &lock)
         }
         if (lock.compare_exchange_weak(cur, LockTable::makeLocked(id_),
                                        std::memory_order_acq_rel)) {
-            lockPrev_.emplace(&lock, cur);
+            lockPrev_.insert(reinterpret_cast<uintptr_t>(&lock), cur);
             return;
         }
     }
@@ -140,9 +154,12 @@ Txn::acquire(LockTable::Word &lock)
 uint64_t
 Txn::readWord(uintptr_t word_addr)
 {
-    auto wit = writeWords_.find(word_addr);
-    if (wit != writeWords_.end())
-        return wit->second;
+    // Read-own-writes: the bloom filter answers the (common) miss with
+    // two bit tests; only a positive pays the table probe.
+    if (writeWords_.mayContain(word_addr)) {
+        if (const uint64_t *v = writeWords_.find(word_addr))
+            return *v;
+    }
 
     auto &lock = mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr));
     for (int attempt = 0; attempt < 4; ++attempt) {
@@ -161,7 +178,7 @@ Txn::readWord(uintptr_t word_addr)
             continue; // concurrent writer slipped in; retry the read
         if (LockTable::version(v1) > startTs_)
             extend();
-        readSet_.emplace_back(&lock, v1);
+        recordRead(lock, v1);
         return val;
     }
     abort("unstable read");
@@ -169,30 +186,13 @@ Txn::readWord(uintptr_t word_addr)
 }
 
 void
-Txn::bufferWord(uintptr_t word_addr, uint64_t val)
-{
-    auto &lock = mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr));
-    acquire(lock);
-    writeWords_[word_addr] = val;
-
-    // Write-ahead redo logging: address/value pairs are streamed into
-    // the per-thread persistent log during the transaction; only writes
-    // to persistent memory are logged (quick range check, section 5).
-    if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(word_addr))) {
-        logBatch_.push_back(word_addr);
-        logBatch_.push_back(val);
-    }
-}
-
-void
 Txn::writeWord(uintptr_t word_addr, uint64_t val)
 {
-    logBatch_.clear();
-    bufferWord(word_addr, val);
-    if (!logBatch_.empty()) {
-        redoWordsCtr().add(logBatch_.size());
-        log_->append(logBatch_.data(), logBatch_.size());
-    }
+    // Lazy version management: acquire the stripe, buffer the value.
+    // The redo log sees nothing until commit, when the whole write set
+    // is staged as one record (stageAndAppendRedo).
+    acquire(mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr)));
+    writeWords_.put(word_addr, val);
 }
 
 void
@@ -202,7 +202,6 @@ Txn::write(void *addr, const void *src, size_t len)
     const auto *bytes = static_cast<const uint8_t *>(src);
     uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     size_t remaining = len;
-    logBatch_.clear();
     while (remaining > 0) {
         const uintptr_t word = a & ~uintptr_t(7);
         const size_t off = a - word;
@@ -214,22 +213,17 @@ Txn::write(void *addr, const void *src, size_t len)
             // Sub-word store: merge into the current word value.  The
             // lock is taken first so the in-memory read is stable.
             acquire(mgr_.locks_.lockFor(reinterpret_cast<void *>(word)));
-            auto it = writeWords_.find(word);
-            cur = (it != writeWords_.end())
-                      ? it->second
+            const uint64_t *buf = writeWords_.mayContain(word)
+                                      ? writeWords_.find(word)
+                                      : nullptr;
+            cur = buf ? *buf
                       : *reinterpret_cast<const uint64_t *>(word);
             std::memcpy(reinterpret_cast<uint8_t *>(&cur) + off, bytes, n);
         }
-        bufferWord(word, cur);
+        writeWord(word, cur);
         a += n;
         bytes += n;
         remaining -= n;
-    }
-    // One log record for the whole multi-word store (the streamed
-    // appends of one instrumented memcpy).
-    if (!logBatch_.empty()) {
-        redoWordsCtr().add(logBatch_.size());
-        log_->append(logBatch_.data(), logBatch_.size());
     }
 }
 
@@ -250,6 +244,50 @@ Txn::read(void *dst, const void *addr, size_t len)
         out += n;
         remaining -= n;
     }
+}
+
+void
+Txn::stageAndAppendRedo(uint64_t ts)
+{
+    // Per-transaction log staging: the whole redo — commit timestamp
+    // plus every persistent (addr, val) pair — travels to the RAWL as
+    // ONE record, so the header word and tornbit restaging are paid once
+    // per transaction instead of once per store.  redoScratch_ was
+    // filled by commit(): [kTagCommit, ts-placeholder, pairs...].
+    redoScratch_[0] = kTagCommit;
+    redoScratch_[1] = ts;
+    redoWordsCtr().add(redoScratch_.size() - 2);
+
+    // Records are additionally capped well below a large log's capacity:
+    // the tornbit restaging buffer stays cache-sized, and a chunk is
+    // never so large that the truncator cannot free space between spills.
+    constexpr size_t kMaxStagedWords = 4096;
+    const size_t max_rec = std::min(
+        log::Rawl::maxRecordWords(log_->capacityWords()), kMaxStagedWords);
+    assert(max_rec >= 4 && "log slot too small for any transaction");
+    if (redoScratch_.size() <= max_rec) {
+        log_->append(redoScratch_.data(), redoScratch_.size());
+    } else {
+        // Oversized transaction: spill leading pair chunks as plain
+        // records, then fold the tail into the commit record.  Recovery
+        // buffers pair records until the commit record arrives; a crash
+        // before it discards the spilled chunks (torn transaction).
+        const size_t chunk = (max_rec - 2) & ~size_t(1);
+        size_t pos = 2;
+        size_t remaining = redoScratch_.size() - 2;
+        while (remaining + 2 > max_rec) {
+            log_->append(&redoScratch_[pos], chunk);
+            pos += chunk;
+            remaining -= chunk;
+        }
+        // The commit header slides down next to the tail pairs so the
+        // final append stays one contiguous range.
+        redoScratch_[pos - 2] = kTagCommit;
+        redoScratch_[pos - 1] = ts;
+        log_->append(&redoScratch_[pos - 2], remaining + 2);
+    }
+    // Durability point: one fence thanks to the tornbit RAWL.
+    log_->flush();
 }
 
 void
@@ -280,51 +318,51 @@ Txn::commit()
     if (startTs_ != ts - 1)
         validateOrAbort("commit validation failed");
 
-    std::vector<std::pair<uintptr_t, uint64_t>> sorted(writeWords_.begin(),
-                                                       writeWords_.end());
-    std::sort(sorted.begin(), sorted.end());
-    bool logged = false;
-    std::vector<uintptr_t> lines;
-    for (const auto &[word, val] : sorted) {
-        (void)val;
-        if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(word))) {
-            logged = true;
-            const uintptr_t line = word & ~uintptr_t(63);
-            if (lines.empty() || lines.back() != line)
-                lines.push_back(line);
+    // Sort the write set once into reusable scratch; the sorted order
+    // drives line coalescing for flushes and write-back runs.
+    sortScratch_.assign(writeWords_.begin(), writeWords_.end());
+    std::sort(sortScratch_.begin(), sortScratch_.end(),
+              [](const WriteSet::Item &a, const WriteSet::Item &b) {
+                  return a.key < b.key;
+              });
+    lineScratch_.clear();
+    redoScratch_.clear();
+    redoScratch_.resize(2); // [kTagCommit, ts] patched in stageAndAppendRedo
+    for (const auto &it : sortScratch_) {
+        if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(it.key))) {
+            redoScratch_.push_back(it.key);
+            redoScratch_.push_back(it.val);
+            const uintptr_t line = it.key & ~uintptr_t(63);
+            if (lineScratch_.empty() || lineScratch_.back() != line)
+                lineScratch_.push_back(line);
         }
     }
+    const bool logged = redoScratch_.size() > 2;
 
-    if (logged) {
-        // Durability point: one fence thanks to the tornbit RAWL.
-        logScratch_[0] = kTagCommit;
-        logScratch_[1] = ts;
-        log_->append(logScratch_, 2);
-        log_->flush();
-    }
+    if (logged)
+        stageAndAppendRedo(ts);
 
     // Write back the new values in place (lazy version management),
     // coalescing contiguous words into single cached stores.
-    std::vector<uint64_t> run;
-    for (size_t i = 0; i < sorted.size();) {
-        const uintptr_t start = sorted[i].first;
-        run.clear();
-        run.push_back(sorted[i].second);
+    for (size_t i = 0; i < sortScratch_.size();) {
+        const uintptr_t start = sortScratch_[i].key;
+        runScratch_.clear();
+        runScratch_.push_back(sortScratch_[i].val);
         size_t j = i + 1;
-        while (j < sorted.size() &&
-               sorted[j].first == sorted[j - 1].first + 8) {
-            run.push_back(sorted[j].second);
+        while (j < sortScratch_.size() &&
+               sortScratch_[j].key == sortScratch_[j - 1].key + 8) {
+            runScratch_.push_back(sortScratch_[j].val);
             ++j;
         }
-        c.store(reinterpret_cast<void *>(start), run.data(),
-                run.size() * sizeof(uint64_t));
+        c.store(reinterpret_cast<void *>(start), runScratch_.data(),
+                runScratch_.size() * sizeof(uint64_t));
         i = j;
     }
 
     // Release the locks at the commit timestamp.
-    for (auto &[lock, prev] : lockPrev_) {
-        (void)prev;
-        lock->store(LockTable::makeVersion(ts), std::memory_order_release);
+    for (const auto &it : lockPrev_) {
+        reinterpret_cast<LockTable::Word *>(it.key)->store(
+            LockTable::makeVersion(ts), std::memory_order_release);
     }
 
     if (logged) {
@@ -333,8 +371,13 @@ Txn::commit()
             // commit, then drop the whole per-thread log.  The head
             // advance is ordered after this fence and rides the next
             // one (losing it only means an idempotent replay).
-            const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
-            for (uintptr_t line : lines)
+            // The latency histogram samples 1 in 16 commits: two clock
+            // reads per commit cost more than the truncation itself on
+            // the emulator fast lane.
+            const uint64_t t0 = obs::enabled() && (++truncSample_ & 15) == 0
+                                    ? obs::nowNs()
+                                    : 0;
+            for (uintptr_t line : lineScratch_)
                 c.flush(reinterpret_cast<const void *>(line));
             c.fence();
             log_->consumeTo(log::Rawl::Cursor{log_->tailAbs()},
@@ -343,7 +386,9 @@ Txn::commit()
                 syncTruncHist().record(obs::nowNs() - t0);
         } else {
             mgr_.truncator_->enqueue(TruncationThread::Task{
-                log_, log_->tailAbs(), std::move(lines)});
+                log_, log_->tailAbs(),
+                std::vector<uintptr_t>(lineScratch_.begin(),
+                                       lineScratch_.end())});
         }
     }
 

@@ -6,19 +6,27 @@
  * write-ahead redo logging and eager conflict detection with
  * encounter-time locking, in the style of TinySTM:
  *
- *  - New values written during the transaction and their addresses are
- *    appended to a per-thread persistent redo log (a RAWL) and buffered
- *    in volatile memory.  Only writes to the reserved persistent
- *    address range are logged (a quick range check).
- *  - Reads return buffered values for addresses in the write set, and
+ *  - New values written during the transaction are buffered in a
+ *    volatile open-addressed write set (write_set.h).
+ *  - Reads return buffered values for addresses in the write set (a
+ *    bloom-filter test answers the common miss without a probe), and
  *    otherwise use timestamp-validated reads against the global lock
- *    array, with lazy snapshot extension.
- *  - Commit appends a commit record carrying the global timestamp and
- *    issues ONE fence (the tornbit log needs no commit-record fence
- *    pair); the new values are then written back in place, locks are
- *    released at the commit timestamp, and the log is truncated either
- *    synchronously (flush every written line, fence, truncate) or
- *    asynchronously by the log-manager thread.
+ *    array, with lazy snapshot extension.  The read set keeps one entry
+ *    per lock stripe, so validation scans unique stripes, not raw reads.
+ *  - Commit stages the transaction's redo — every buffered word in the
+ *    reserved persistent address range plus the commit timestamp — as
+ *    ONE log record [kTagCommit, ts, (addr, val)...] appended to the
+ *    per-thread persistent RAWL, and issues ONE fence (the tornbit log
+ *    needs no commit-record fence pair).  Torn-append atomicity of the
+ *    RAWL makes the single record the atomicity point: recovery either
+ *    sees the whole transaction or none of it.  The new values are then
+ *    written back in place, locks are released at the commit timestamp,
+ *    and the log is truncated either synchronously (flush every written
+ *    line, fence, truncate) or asynchronously by the log-manager thread.
+ *  - Transactions whose redo exceeds the log's largest record spill
+ *    earlier chunks as plain (addr, val) pair records and fold the rest
+ *    into the commit record; recovery buffers pair records until the
+ *    commit record arrives (and discards them if it never does).
  *
  * In the paper, Intel's STM compiler instruments every load and store
  * inside an `atomic { }` block with calls into this system; here the
@@ -32,11 +40,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "log/rawl.h"
 #include "mtm/lock_table.h"
+#include "mtm/write_set.h"
 
 namespace mnemosyne::mtm {
 
@@ -48,7 +56,13 @@ struct TxnConflict {
 };
 
 /** Control-record tags in the redo log (values below the persistent
- *  address range, so they cannot collide with logged addresses). */
+ *  address range, so they cannot collide with logged addresses).
+ *
+ *  Record shapes recovery understands (recovery.cc):
+ *    [kTagCommit, ts, a0, v0, a1, v1, ...]  one whole transaction
+ *    [a0, v0, a1, v1, ...]                  spilled chunk of a large txn
+ *    [kTagAbort]                            spilled chunks are dead
+ */
 enum LogTag : uint64_t {
     kTagCommit = 1,
     kTagAbort = 2,
@@ -101,32 +115,40 @@ class Txn
 
     uint64_t readWord(uintptr_t word_addr);
     void writeWord(uintptr_t word_addr, uint64_t val);
-    void bufferWord(uintptr_t word_addr, uint64_t val);
+    void recordRead(LockTable::Word &lock, uint64_t seen);
     void acquire(LockTable::Word &lock);
     void validateOrAbort(const char *why);
     void extend();
+    void stageAndAppendRedo(uint64_t ts);
 
     TxnManager &mgr_;
     log::Rawl *log_ = nullptr;
     uint64_t id_ = 0;
     uint64_t startTs_ = 0;
+    uint64_t truncSample_ = 0;      ///< Sync-trunc histogram sampling.
     int depth_ = 0;                 ///< Flat nesting.
     bool active_ = false;
 
-    /** Volatile buffer of new values (lazy version management). */
-    std::unordered_map<uintptr_t, uint64_t> writeWords_;
+    /** Volatile buffer of new values (lazy version management):
+     *  open-addressed word map plus read-own-writes bloom filter. */
+    WriteSet writeWords_;
 
-    /** Read set for timestamp validation: (lock, observed value). */
-    std::vector<std::pair<LockTable::Word *, uint64_t>> readSet_;
+    /** Read set for timestamp validation: lock stripe -> first observed
+     *  version, one entry per stripe (deduplicated at insert). */
+    DenseMap<uint64_t> readSet_;
 
-    /** Locks held, with the version to restore on abort. */
-    std::unordered_map<LockTable::Word *, uint64_t> lockPrev_;
+    /** Locks held: lock slot -> version to restore on abort. */
+    DenseMap<uint64_t> lockPrev_;
 
     std::vector<std::function<void()>> abortHooks_;
     std::vector<std::function<void()>> commitHooks_;
 
-    uint64_t logScratch_[2];
-    std::vector<uint64_t> logBatch_;    ///< (addr, val) pairs of one write().
+    // Reusable commit-path scratch: commit allocates nothing once these
+    // reach their high-water capacity.
+    std::vector<WriteSet::Item> sortScratch_;   ///< Write set, addr-sorted.
+    std::vector<uintptr_t> lineScratch_;        ///< Distinct dirty lines.
+    std::vector<uint64_t> runScratch_;          ///< Contiguous write-back run.
+    std::vector<uint64_t> redoScratch_;         ///< Staged log record.
 };
 
 } // namespace mnemosyne::mtm

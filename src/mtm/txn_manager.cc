@@ -3,6 +3,7 @@
 #include <cassert>
 #include <random>
 #include <thread>
+#include <unordered_map>
 
 #include "mtm/recovery.h"
 #include "mtm/truncation.h"
@@ -18,6 +19,67 @@ nextMgrId()
 {
     static std::atomic<uint64_t> gen{0};
     return gen.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/**
+ * Live managers by id (ids are never reused).  A thread-exit lease
+ * destructor must not touch a manager that died first; the registry
+ * mutex is held across the lookup AND the recycle call, so a manager
+ * blocked in ~TxnManager on this mutex cannot finish dying mid-recycle.
+ * Allocated immortally: thread_local destructors can run during process
+ * teardown, after function-local statics are destroyed.
+ */
+struct MgrRegistry {
+    std::mutex mu;
+    std::unordered_map<uint64_t, TxnManager *> live;
+};
+
+MgrRegistry &
+mgrRegistry()
+{
+    static MgrRegistry *r = new MgrRegistry;
+    return *r;
+}
+
+/**
+ * The calling thread's log leases, one per manager it has transacted
+ * under.  On thread exit each lease is returned to its manager's free
+ * pool — the per-thread-log slot leak this replaces made every
+ * short-lived worker thread consume a log slot forever.
+ */
+struct LogLeases {
+    struct Lease {
+        uint64_t mgr;
+        log::Rawl *log;
+    };
+    std::vector<Lease> leases;
+
+    log::Rawl *
+    find(uint64_t mgr) const
+    {
+        for (const auto &l : leases)
+            if (l.mgr == mgr)
+                return l.log;
+        return nullptr;
+    }
+
+    ~LogLeases()
+    {
+        auto &reg = mgrRegistry();
+        std::lock_guard<std::mutex> g(reg.mu);
+        for (const auto &l : leases) {
+            auto it = reg.live.find(l.mgr);
+            if (it != reg.live.end())
+                it->second->recycleLog(l.log);
+        }
+    }
+};
+
+LogLeases &
+threadLeases()
+{
+    thread_local LogLeases leases;
+    return leases;
 }
 
 } // namespace
@@ -51,6 +113,12 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
     }
     truncator_ = std::make_unique<TruncationThread>();
 
+    {
+        auto &reg = mgrRegistry();
+        std::lock_guard<std::mutex> g(reg.mu);
+        reg.live.emplace(mgrId_, this);
+    }
+
     // Counts sum across live managers; per-thread arrays are indexed by
     // obs thread ordinal (mod the shard count), matching scm.* shards.
     statsSourceToken_ =
@@ -76,6 +144,12 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
 
 TxnManager::~TxnManager()
 {
+    {
+        // After this, exiting threads' lease destructors skip us.
+        auto &reg = mgrRegistry();
+        std::lock_guard<std::mutex> g(reg.mu);
+        reg.live.erase(mgrId_);
+    }
     obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     if (truncator_)
         truncator_->drain();
@@ -84,14 +158,55 @@ TxnManager::~TxnManager()
 log::Rawl *
 TxnManager::threadLog()
 {
+    // One-entry cache for the common case (a thread transacting under a
+    // single manager); the lease list handles threads that alternate
+    // between managers without leaking a slot per switch.
     thread_local uint64_t cached_mgr = 0;
     thread_local log::Rawl *cached_log = nullptr;
     if (cached_mgr == mgrId_ && cached_log)
         return cached_log;
-    static std::atomic<uint64_t> ordinal{0};
-    cached_log = logs_->acquire(ordinal.fetch_add(1) + 1);
+    auto &leases = threadLeases();
+    log::Rawl *log = leases.find(mgrId_);
+    if (!log) {
+        log = acquireLog();
+        leases.leases.push_back({mgrId_, log});
+    }
     cached_mgr = mgrId_;
-    return cached_log;
+    cached_log = log;
+    return log;
+}
+
+log::Rawl *
+TxnManager::acquireLog()
+{
+    {
+        std::lock_guard<std::mutex> g(freeMu_);
+        if (!freeLogs_.empty()) {
+            log::Rawl *log = freeLogs_.back();
+            freeLogs_.pop_back();
+            return log;
+        }
+    }
+    static std::atomic<uint64_t> ordinal{0};
+    log::Rawl *log = logs_->acquire(ordinal.fetch_add(1) + 1);
+    // A producer stalled on this (full) log kicks the async truncator
+    // instead of waiting out its poll interval.
+    log->setSpaceWaiter([this] { truncator_->nudge(); });
+    return log;
+}
+
+void
+TxnManager::recycleLog(log::Rawl *log)
+{
+    std::lock_guard<std::mutex> g(freeMu_);
+    freeLogs_.push_back(log);
+}
+
+size_t
+TxnManager::recycledLogCount() const
+{
+    std::lock_guard<std::mutex> g(freeMu_);
+    return freeLogs_.size();
 }
 
 namespace {
@@ -109,17 +224,26 @@ threadSlots()
 Txn &
 TxnManager::begin()
 {
-    auto &slot = threadSlots()[mgrId_];
-    if (!slot)
-        slot = std::unique_ptr<Txn>(new Txn(*this));
-    Txn &tx = *slot;
-    if (tx.active_) {
-        ++tx.depth_; // flat nesting
-        return tx;
+    // One-entry descriptor cache: a hash lookup per transaction is
+    // measurable on the fast path (sub-microsecond transactions).
+    thread_local uint64_t cached_mgr = 0;
+    thread_local Txn *cached_tx = nullptr;
+    Txn *tx = cached_tx;
+    if (cached_mgr != mgrId_) {
+        auto &slot = threadSlots()[mgrId_];
+        if (!slot)
+            slot = std::unique_ptr<Txn>(new Txn(*this));
+        tx = slot.get();
+        cached_mgr = mgrId_;
+        cached_tx = tx;
     }
-    tx.begin(nextTxnId_.fetch_add(1, std::memory_order_relaxed),
-             threadLog());
-    return tx;
+    if (tx->active_) {
+        ++tx->depth_; // flat nesting
+        return *tx;
+    }
+    tx->begin(nextTxnId_.fetch_add(1, std::memory_order_relaxed),
+              threadLog());
+    return *tx;
 }
 
 Txn *

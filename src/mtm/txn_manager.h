@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "log/log_manager.h"
 #include "mtm/lock_table.h"
@@ -123,11 +125,25 @@ class TxnManager
     /** Committed transactions whose logs are not yet truncated. */
     size_t truncationBacklog() const;
 
+    /**
+     * Return a per-thread log lease to this manager's free pool; called
+     * by the thread-local lease destructor on thread exit.  The slot is
+     * NOT released from the persistent LogManager — queued async
+     * truncation tasks may still reference the Rawl, and an unconsumed
+     * suffix must survive a crash — it is simply handed to the next
+     * thread that needs a log, so thread churn no longer exhausts slots.
+     */
+    void recycleLog(log::Rawl *log);
+
+    /** Logs currently parked in the free pool (tests). */
+    size_t recycledLogCount() const;
+
   private:
     friend class Txn;
 
     void backoff(int attempt);
     log::Rawl *threadLog();
+    log::Rawl *acquireLog();
     size_t recoverLogs();
 
     region::RegionLayer &rl_;
@@ -138,6 +154,10 @@ class TxnManager
     std::unique_ptr<log::LogManager> logs_;
     std::unique_ptr<TruncationThread> truncator_;
     const uint64_t mgrId_;
+
+    /** Leases returned by exited threads, ready for reuse. */
+    mutable std::mutex freeMu_;
+    std::vector<log::Rawl *> freeLogs_;
 
     // Per-thread-sharded so hot commit/abort paths never contend on one
     // cache line, and stats() sums relaxed per-shard loads (no torn

@@ -128,11 +128,16 @@ ScmContext::self()
 void
 ScmContext::hookEvent(Event ev, const void *addr, size_t len)
 {
-    const uint64_t n = eventNo_.fetch_add(1, std::memory_order_relaxed) + 1;
-    // Fast path: no hook installed (every production run) — skip the
-    // mutex so the primitives stay lock-free here.
-    if (!hasHook_.load(std::memory_order_acquire))
+    // Fast lane: with no hook installed and no failure journal there is
+    // no consumer of event numbers (crash-point sweeps need both), so
+    // skip the shared counter bump — on a many-core performance run the
+    // fetch_add line bounces between every thread issuing primitives.
+    if (!hasHook_.load(std::memory_order_acquire)) {
+        if (cfg_.failure_tracking)
+            eventNo_.fetch_add(1, std::memory_order_relaxed);
         return;
+    }
+    const uint64_t n = eventNo_.fetch_add(1, std::memory_order_relaxed) + 1;
     WriteHook h;
     {
         std::lock_guard<std::mutex> g(hookMu_);
@@ -211,6 +216,14 @@ ScmContext::wtstore(void *addr, const void *src, size_t len)
     obs::TraceRing::instance().record(obs::TraceEv::kWtStore,
                                       uintptr_t(addr), len);
     hookEvent(Event::kWtStore, addr, len);
+    if (!cfg_.failure_tracking &&
+        cfg_.latency_mode == LatencyMode::kNone) {
+        // Fast lane (pure software measurement): no journal entry, and
+        // the bandwidth model is moot with no delay realization — skip
+        // the per-thread state lookup and the steady_clock read.
+        std::memcpy(addr, src, len);
+        return;
+    }
     ThreadScm &t = self();
     if (t.wtBytesSinceFence == 0)
         t.wtSeqStart = std::chrono::steady_clock::now();
@@ -263,8 +276,10 @@ ScmContext::flush(const void *addr)
         }
     }
     // Cacheable writes pay the PCM write latency on the subsequent
-    // flush (paper, section 6.1).
-    account_.charge(cfg_.latency_mode, cfg_.write_latency_ns);
+    // flush (paper, section 6.1).  The kNone fast lane skips even the
+    // accounting: charge()'s shared atomic is a contention point.
+    if (cfg_.latency_mode != LatencyMode::kNone || cfg_.failure_tracking)
+        account_.charge(cfg_.latency_mode, cfg_.write_latency_ns);
 }
 
 void
@@ -287,6 +302,13 @@ ScmContext::fence()
     nFences_.add(1);
     obs::TraceRing::instance().record(obs::TraceEv::kFence);
     hookEvent(Event::kFence, nullptr, 0);
+    if (!cfg_.failure_tracking &&
+        cfg_.latency_mode == LatencyMode::kNone) {
+        // Fast lane: nothing to retire and nothing to delay — the
+        // matching wtstore lane never accumulated bandwidth state, so
+        // a fence is counters + trace only.
+        return;
+    }
     ThreadScm &t = self();
 
     // Bandwidth model: the delay for a sequence of streaming writes is

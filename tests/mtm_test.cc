@@ -431,6 +431,151 @@ TEST(Mtm, StagedAllocationSurvivesCommitAndReclaimsOnCrash)
     EXPECT_GE(rt.heap().usableSize(*root), 64u);
 }
 
+TEST(Mtm, RandomizedSubWordDifferential)
+{
+    // Differential fuzz of the write-set barriers against a byte-level
+    // shadow: random (mis)aligned writes and reads inside transactions,
+    // read-own-writes through the bloom filter, sub-word merges, and
+    // post-commit memory equality.  Occasional user-exception rounds
+    // verify abort/reset reuse leaves no stale buffered state behind.
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    Runtime rt(rtCfg(dir.path()));
+    constexpr size_t kBytes = 2048;
+    auto *arr = static_cast<uint8_t *>(
+        rt.regions().pstaticVar("fuzz_arr", kBytes, nullptr));
+    std::vector<uint8_t> shadow(kBytes, 0);
+
+    std::mt19937_64 rng(0x5ab);
+    for (int round = 0; round < 300; ++round) {
+        std::vector<uint8_t> staged = shadow;
+        const bool abort_round = (rng() % 5 == 0);
+        try {
+            rt.atomic([&](mtm::Txn &tx) {
+                const int ops = 1 + int(rng() % 24);
+                for (int op = 0; op < ops; ++op) {
+                    const size_t len = 1 + size_t(rng() % 16);
+                    const size_t off = rng() % (kBytes - len);
+                    if (rng() % 2) {
+                        uint8_t buf[16];
+                        for (size_t i = 0; i < len; ++i)
+                            buf[i] = uint8_t(rng());
+                        tx.write(arr + off, buf, len);
+                        std::copy(buf, buf + len, staged.begin() + off);
+                    } else {
+                        uint8_t got[16];
+                        tx.read(got, arr + off, len);
+                        ASSERT_EQ(0, std::memcmp(got, staged.data() + off,
+                                                 len))
+                            << "read-own-writes mismatch at " << off;
+                    }
+                }
+                if (abort_round)
+                    throw std::runtime_error("user abort");
+            });
+        } catch (const std::runtime_error &) {
+            ASSERT_TRUE(abort_round);
+        }
+        if (!abort_round)
+            shadow = staged;
+        ASSERT_EQ(0, std::memcmp(arr, shadow.data(), kBytes))
+            << (abort_round ? "aborted" : "committed")
+            << " round " << round;
+    }
+}
+
+TEST(Mtm, StagedRecordRecoveryRoundTrip)
+{
+    // The per-txn staged record format round-trips through a crash:
+    // several multi-word transactions commit (each one record), the
+    // crash reverts all in-place data, and recovery replays the values
+    // parsed out of the [kTagCommit, ts, pairs...] records.
+    TempDir dir;
+    constexpr size_t kWords = 64;
+    std::vector<uint64_t> expected(kWords);
+    {
+        scm::ScmContext c(scmCfg());
+        scm::ScopedCtx guard(c);
+        Runtime rt(rtCfg(dir.path(), mtm::Truncation::kAsync));
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "rec_arr", kWords * sizeof(uint64_t), nullptr));
+        rt.txns().pauseTruncation();
+        for (int t = 0; t < 10; ++t) {
+            rt.atomic([&](mtm::Txn &tx) {
+                for (size_t i = 0; i < kWords; i += 7)
+                    tx.writeT<uint64_t>(&arr[i], uint64_t(t * 1000 + i));
+            });
+        }
+        for (size_t i = 0; i < kWords; i += 7)
+            expected[i] = uint64_t(9 * 1000 + i);
+        c.crash(true);
+    }
+    scm::ScmContext c2(scmCfg());
+    scm::ScopedCtx guard2(c2);
+    Runtime rt(rtCfg(dir.path()));
+    EXPECT_EQ(rt.txns().stats().replayed_txns, 10u);
+    auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+        "rec_arr", kWords * sizeof(uint64_t), nullptr));
+    for (size_t i = 0; i < kWords; i += 7)
+        EXPECT_EQ(arr[i], expected[i]) << "word " << i;
+}
+
+TEST(Mtm, OversizedTxnSpillsAndRecovers)
+{
+    // A transaction whose redo exceeds the staged-record cap spills
+    // leading chunks as plain pair records; recovery must stitch the
+    // chunks back together with the commit record's own pairs.
+    TempDir dir;
+    constexpr size_t kWords = 2600; // redo = 2 + 2*2600 words > 4096 cap
+    {
+        scm::ScmContext c(scmCfg());
+        scm::ScopedCtx guard(c);
+        Runtime rt(rtCfg(dir.path(), mtm::Truncation::kAsync));
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "spill_arr", kWords * sizeof(uint64_t), nullptr));
+        rt.txns().pauseTruncation();
+        rt.atomic([&](mtm::Txn &tx) {
+            for (size_t i = 0; i < kWords; ++i)
+                tx.writeT<uint64_t>(&arr[i], i * 3 + 1);
+        });
+        c.crash(true);
+    }
+    scm::ScmContext c2(scmCfg());
+    scm::ScopedCtx guard2(c2);
+    Runtime rt(rtCfg(dir.path()));
+    EXPECT_EQ(rt.txns().stats().replayed_txns, 1u);
+    auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+        "spill_arr", kWords * sizeof(uint64_t), nullptr));
+    for (size_t i = 0; i < kWords; ++i)
+        ASSERT_EQ(arr[i], i * 3 + 1) << "word " << i;
+}
+
+TEST(Mtm, ThreadChurnRecyclesLogSlots)
+{
+    // 32 sequential short-lived threads against a runtime with only 8
+    // log slots: exited threads' leases must be recycled, or the 9th
+    // thread would die with "out of log slots".
+    TempDir dir;
+    scm::ScmContext c(scmCfg());
+    scm::ScopedCtx guard(c);
+    Runtime rt(rtCfg(dir.path()));
+    uint64_t *x = pvar(rt, "x");
+    for (int t = 0; t < 32; ++t) {
+        std::thread th([&] {
+            rt.atomic([&](mtm::Txn &tx) {
+                tx.writeT<uint64_t>(x, tx.readT<uint64_t>(x) + 1);
+            });
+        });
+        th.join();
+    }
+    EXPECT_EQ(*x, 32u);
+    EXPECT_GE(rt.txns().recycledLogCount(), 1u);
+    // The pool is bounded by the slot count: leases were reused, not
+    // freshly acquired per thread.
+    EXPECT_LE(rt.txns().recycledLogCount(), 8u);
+}
+
 // Crash-point sweep over a bank-transfer workload: at EVERY crash point
 // and under adversarial partial-write loss, the invariant (sum of two
 // accounts) holds after recovery.
