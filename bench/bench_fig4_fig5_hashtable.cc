@@ -14,9 +14,10 @@
  *    buffer), while its 2-thread gain costs write latency (group
  *    commit).
  *
- * NOTE: this container exposes 1 CPU; thread scaling is muted by
- * time-slicing, but the MTM-vs-BDB ordering and the latency behaviour
- * reproduce.
+ * Thread-scaling cells that oversubscribe the CPUs actually available
+ * (bench::hwThreads(), affinity-mask aware) are annotated at runtime;
+ * on a 1-CPU host the MTM-vs-BDB ordering and the latency behaviour
+ * still reproduce.
  */
 
 #include <cstdio>
@@ -39,6 +40,18 @@ main()
     const std::vector<int> threads = {1, 2, 4};
     const int ops = 1200;
 
+    const unsigned hw = bench::hwThreads();
+    std::printf("%s\n\n", bench::scalingNote(threads.back()).c_str());
+    // Column labels carry the oversubscription mark so every muted
+    // cell is visibly annotated rather than silently misleading.
+    char col[2][3][16];
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+        std::snprintf(col[0][ti], sizeof(col[0][ti]), "BDB-%dT%s",
+                      threads[ti], unsigned(threads[ti]) > hw ? "*" : "");
+        std::snprintf(col[1][ti], sizeof(col[1][ti]), "MTM-%dT%s",
+                      threads[ti], unsigned(threads[ti]) > hw ? "*" : "");
+    }
+
     struct Row {
         size_t size;
         bench::CellResult bdb[3];
@@ -59,8 +72,8 @@ main()
     }
 
     std::printf("\nFigure 4 — write latency (us per insert):\n");
-    std::printf("%8s  %9s %9s %9s  %9s %9s %9s\n", "size", "BDB-1T",
-                "BDB-2T", "BDB-4T", "MTM-1T", "MTM-2T", "MTM-4T");
+    std::printf("%8s  %9s %9s %9s  %9s %9s %9s\n", "size", col[0][0],
+                col[0][1], col[0][2], col[1][0], col[1][1], col[1][2]);
     for (const auto &r : rows) {
         std::printf("%8zu  %9.1f %9.1f %9.1f  %9.1f %9.1f %9.1f\n",
                     r.size, r.bdb[0].write_latency_us,
@@ -71,8 +84,8 @@ main()
 
     std::printf("\nFigure 5 — update throughput (K updates/s, "
                 "writes + deletes):\n");
-    std::printf("%8s  %9s %9s %9s  %9s %9s %9s  %7s\n", "size", "BDB-1T",
-                "BDB-2T", "BDB-4T", "MTM-1T", "MTM-2T", "MTM-4T",
+    std::printf("%8s  %9s %9s %9s  %9s %9s %9s  %7s\n", "size", col[0][0],
+                col[0][1], col[0][2], col[1][0], col[1][1], col[1][2],
                 "MTM/BDB");
     for (const auto &r : rows) {
         std::printf(

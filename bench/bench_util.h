@@ -14,8 +14,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "obs/obs.h"
 #include "obs/stats_registry.h"
@@ -91,6 +96,46 @@ paperRuntimeConfig(const std::string &dir,
     cfg.txn.log_slots = 32;
     cfg.txn.log_slot_bytes = 4 << 20;
     return cfg;
+}
+
+/**
+ * CPUs actually usable by this process — the affinity mask when the
+ * kernel exposes one (containers often restrict it), else the online
+ * CPU count.  Never returns 0.  Thread-scaling benchmarks use this to
+ * annotate (or skip) cells where thread count exceeds real parallelism
+ * instead of hard-coding assumptions about the host.
+ */
+inline unsigned
+hwThreads()
+{
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0)
+            return unsigned(n);
+    }
+#endif
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+/**
+ * One-line provenance note for thread-scaling tables: states the
+ * detected CPU count and, when @p max_threads oversubscribes it, warns
+ * that those cells measure time-slicing, not parallelism.
+ */
+inline std::string
+scalingNote(int max_threads)
+{
+    const unsigned hw = hwThreads();
+    std::string s = "host: " + std::to_string(hw) + " CPU(s) available";
+    if (unsigned(max_threads) > hw) {
+        s += "; cells marked * run more threads than CPUs — scaling "
+             "muted by time-slicing";
+    }
+    return s;
 }
 
 /** Wall-clock stopwatch in nanoseconds. */

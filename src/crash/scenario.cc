@@ -214,10 +214,22 @@ class HeapScenario final : public Scenario
     void
     workload(ScenarioEnv &env) override
     {
-        for (size_t i = 0; i < kSlots; ++i)
+        // detachThreadCache() between segments parks this thread's
+        // superblock cache and hands its partial superblocks back to the
+        // global pool, so successive segments run under different caches
+        // (and different per-cache redo logs).  That makes every crash
+        // point also cover superblock transfers, orphan adoption, and
+        // multi-log replay — the per-thread bitmaps must stay leak-free
+        // no matter which cache last owned them.
+        for (size_t i = 0; i < kSlots; ++i) {
             env.rt.pmalloc(sizes()[i], &slots_[i]);
+            if (i == kSlots / 2)
+                env.rt.heap().detachThreadCache();
+        }
+        env.rt.heap().detachThreadCache();
         env.rt.pfree(&slots_[1]);
         env.rt.pfree(&slots_[3]);
+        env.rt.heap().detachThreadCache();
         // Allocate into a just-freed slot: covers alloc-after-free
         // paths (superblock reuse, coalesced big chunks).
         env.rt.pmalloc(512, &slots_[1]);

@@ -1,8 +1,10 @@
 #include "heap/big_alloc.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::heap {
@@ -239,6 +241,168 @@ BigAlloc::stats() const
         off += size;
     }
     return s;
+}
+
+// ---------------------------------------------------------------------------
+// StripedBigAlloc
+
+namespace {
+
+struct BigObs {
+    obs::Counter stripe_contended{"heap.big_stripe_contended", true};
+};
+
+BigObs &
+bigObs()
+{
+    static BigObs o;
+    return o;
+}
+
+/** Stripe lock with contention accounting (cf. the superblock heap's
+ *  heap.lock_contended). */
+struct StripeLock {
+    explicit StripeLock(std::mutex &m) : mu(m)
+    {
+        if (!mu.try_lock()) {
+            bigObs().stripe_contended.add(1);
+            mu.lock();
+        }
+    }
+    ~StripeLock() { mu.unlock(); }
+    StripeLock(const StripeLock &) = delete;
+    StripeLock &operator=(const StripeLock &) = delete;
+
+    std::mutex &mu;
+};
+
+} // namespace
+
+size_t
+StripedBigAlloc::stripesFor(size_t bytes)
+{
+    // One stripe per 16 MB so per-stripe capacity fragmentation stays
+    // irrelevant for realistic request sizes; small arenas (all test
+    // configurations) degenerate to a single stripe.
+    return std::clamp<size_t>(bytes >> 24, 1, kMaxStripes);
+}
+
+std::unique_ptr<StripedBigAlloc>
+StripedBigAlloc::create(void *mem, size_t bytes)
+{
+    assert(bytes > sizeof(Header));
+    const size_t n = stripesFor(bytes);
+    const size_t span =
+        ((bytes - sizeof(Header)) / n) & ~(BigAlloc::kAlign - 1);
+
+    auto a = std::unique_ptr<StripedBigAlloc>(new StripedBigAlloc);
+    a->base_ = reinterpret_cast<uint8_t *>(static_cast<Header *>(mem) + 1);
+    a->span_ = span;
+    for (size_t i = 0; i < n; ++i) {
+        auto s = std::make_unique<Stripe>();
+        s->alloc = BigAlloc::create(a->base_ + i * span, span);
+        a->stripes_.push_back(std::move(s));
+    }
+
+    // Header last: a valid magic implies every stripe is formatted.
+    auto &c = scm::ctx();
+    Header h{kMagic, n, span, 0};
+    c.wtstore(mem, &h, sizeof(h));
+    c.fence();
+    return a;
+}
+
+std::unique_ptr<StripedBigAlloc>
+StripedBigAlloc::open(void *mem)
+{
+    auto *hdr = static_cast<Header *>(mem);
+    if (hdr->magic != kMagic || hdr->nStripes == 0 ||
+        hdr->nStripes > kMaxStripes)
+        return nullptr;
+    auto a = std::unique_ptr<StripedBigAlloc>(new StripedBigAlloc);
+    a->base_ = reinterpret_cast<uint8_t *>(hdr + 1);
+    a->span_ = size_t(hdr->stripeSpan);
+    for (size_t i = 0; i < size_t(hdr->nStripes); ++i) {
+        auto s = std::make_unique<Stripe>();
+        s->alloc = BigAlloc::open(a->base_ + i * a->span_);
+        if (!s->alloc)
+            return nullptr;
+        a->stripes_.push_back(std::move(s));
+    }
+    return a;
+}
+
+size_t
+StripedBigAlloc::stripeOf(const void *p) const
+{
+    const auto off = size_t(static_cast<const uint8_t *>(p) - base_);
+    return off / span_;
+}
+
+void *
+StripedBigAlloc::allocate(size_t size, void **pptr)
+{
+    // Home stripe by thread ordinal, falling over round-robin when the
+    // home stripe has no fitting chunk.
+    const size_t n = stripes_.size();
+    const size_t home = obs::threadOrdinal() % n;
+    for (size_t i = 0; i < n; ++i) {
+        Stripe &s = *stripes_[(home + i) % n];
+        StripeLock g(s.mu);
+        if (void *p = s.alloc->allocate(size, pptr))
+            return p;
+    }
+    return nullptr;
+}
+
+void
+StripedBigAlloc::free(void **pptr)
+{
+    void *p = *pptr;
+    assert(owns(p));
+    Stripe &s = *stripes_[stripeOf(p)];
+    StripeLock g(s.mu);
+    s.alloc->free(pptr);
+}
+
+bool
+StripedBigAlloc::owns(const void *p) const
+{
+    if (p < base_ || p >= base_ + stripes_.size() * span_)
+        return false;
+    return stripes_[stripeOf(p)]->alloc->owns(p);
+}
+
+size_t
+StripedBigAlloc::blockSize(const void *p) const
+{
+    return stripes_[stripeOf(p)]->alloc->blockSize(p);
+}
+
+BigAllocStats
+StripedBigAlloc::stats() const
+{
+    BigAllocStats total;
+    for (const auto &s : stripes_) {
+        StripeLock g(s->mu);
+        const BigAllocStats st = s->alloc->stats();
+        total.chunks_in_use += st.chunks_in_use;
+        total.bytes_in_use += st.bytes_in_use;
+        total.chunks_free += st.chunks_free;
+        total.bytes_free += st.bytes_free;
+    }
+    return total;
+}
+
+size_t
+StripedBigAlloc::rebuildFreeList()
+{
+    size_t walked = 0;
+    for (auto &s : stripes_) {
+        StripeLock g(s->mu);
+        walked += s->alloc->rebuildFreeList();
+    }
+    return walked;
 }
 
 } // namespace mnemosyne::heap

@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "log/atomic_redo.h"
 #include "log/rawl.h"
@@ -89,6 +91,73 @@ class BigAlloc
 
     /** Volatile free index: offset -> size. */
     std::map<uint64_t, uint64_t> free_;
+};
+
+/**
+ * Address-range-striped big allocator: the persistent arena is split
+ * into independent BigAlloc stripes, each with its own mutex and redo
+ * log, so concurrent large allocations from different threads no longer
+ * serialize on one free list.  A thread's home stripe is picked by its
+ * obs ordinal; allocation falls over to the other stripes when the home
+ * stripe cannot satisfy a request.  Frees route by address, so any
+ * thread can free any block.
+ *
+ * The stripe count adapts to the arena size (one stripe per 16 MB,
+ * capped at 8) so small arenas — including every existing test
+ * configuration — keep the exact single-arena behaviour and large
+ * requests are not defeated by per-stripe capacity fragmentation.
+ */
+class StripedBigAlloc
+{
+  public:
+    static constexpr size_t kMaxStripes = 8;
+
+    /** Stripes used for an arena of @p bytes. */
+    static size_t stripesFor(size_t bytes);
+
+    static std::unique_ptr<StripedBigAlloc> create(void *mem, size_t bytes);
+    static std::unique_ptr<StripedBigAlloc> open(void *mem);
+
+    /** Allocate at least @p size bytes; durably stores the address into
+     *  @p pptr.  Returns nullptr when no stripe has a fitting chunk. */
+    void *allocate(size_t size, void **pptr);
+
+    /** Free *@p pptr (routed to its stripe by address). */
+    void free(void **pptr);
+
+    bool owns(const void *p) const;
+    size_t blockSize(const void *p) const;
+
+    BigAllocStats stats() const;
+
+    /** Rebuild every stripe's volatile free list; returns the total
+     *  number of chunks walked. */
+    size_t rebuildFreeList();
+
+    size_t stripeCount() const { return stripes_.size(); }
+
+  private:
+    struct Header {
+        uint64_t magic;
+        uint64_t nStripes;
+        uint64_t stripeSpan;
+        uint64_t reserved0;
+    };
+
+    static constexpr uint64_t kMagic = 0x4d4e424947535452ULL; // "MNBIGSTR"
+
+    StripedBigAlloc() = default;
+
+    size_t stripeOf(const void *p) const;
+
+    struct Stripe {
+        mutable std::mutex mu;
+        std::unique_ptr<BigAlloc> alloc;
+    };
+
+    uint8_t *base_ = nullptr;   ///< First stripe's start.
+    size_t span_ = 0;           ///< Bytes per stripe.
+    std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 } // namespace mnemosyne::heap

@@ -28,8 +28,9 @@ ctrs()
 
 } // namespace
 
-PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes)
-    : rl_(rl)
+PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes,
+             bool global_lock)
+    : rl_(rl), globalLock_(global_lock)
 {
     auto small_region = rl.findByFlags(region::kRegionHeap);
     if (small_region.addr == nullptr) {
@@ -40,14 +41,16 @@ PHeap::PHeap(region::RegionLayer &rl, size_t small_bytes, size_t big_bytes)
         if (!small_)
             throw std::runtime_error("PHeap: corrupt superblock heap");
     }
+    if (globalLock_)
+        small_->setSerialized(true);
     initStats_.scavenged_superblocks = small_->stats().superblocks;
 
     auto big_region = rl.findByFlags(region::kRegionHeapBig);
     if (big_region.addr == nullptr) {
         void *mem = rl.pmap(nullptr, big_bytes, region::kRegionHeapBig);
-        big_ = BigAlloc::create(mem, big_bytes);
+        big_ = StripedBigAlloc::create(mem, big_bytes);
     } else {
-        big_ = BigAlloc::open(big_region.addr);
+        big_ = StripedBigAlloc::open(big_region.addr);
         if (!big_)
             throw std::runtime_error("PHeap: corrupt big-block heap");
     }
@@ -78,7 +81,10 @@ void
 PHeap::pmalloc(size_t size, void *pptr)
 {
     assert(pptr != nullptr);
-    std::lock_guard<std::mutex> g(mu_);
+    // Baseline mode only: the sub-allocators carry their own locks.
+    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    if (globalLock_)
+        g.lock();
     auto **slot = static_cast<void **>(pptr);
     ctrs().pmallocs.add(1);
     ctrs().bytes_requested.add(size);
@@ -97,7 +103,9 @@ void
 PHeap::pfree(void *pptr)
 {
     assert(pptr != nullptr);
-    std::lock_guard<std::mutex> g(mu_);
+    std::unique_lock<std::mutex> g(mu_, std::defer_lock);
+    if (globalLock_)
+        g.lock();
     auto **slot = static_cast<void **>(pptr);
     void *p = *slot;
     assert(p != nullptr && "pfree of null pointer");

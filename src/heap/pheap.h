@@ -42,9 +42,16 @@ class PHeap
      * Create or recover the process's persistent heap: locates (or
      * pmaps on first run) the heap regions, replays interrupted
      * operations, and scavenges the volatile indexes.
+     *
+     * With @p global_lock every operation serializes on one mutex and
+     * the superblock heap runs in single-pool mode — the pre-scaling
+     * behaviour, kept as the measurable baseline for the thread-scaling
+     * benchmark.  Normal operation is lock-free at this layer: the
+     * per-thread superblock caches and big-allocator stripes provide
+     * their own fine-grained locking.
      */
     PHeap(region::RegionLayer &rl, size_t small_bytes = size_t(32) << 20,
-          size_t big_bytes = size_t(32) << 20);
+          size_t big_bytes = size_t(32) << 20, bool global_lock = false);
     ~PHeap();
 
     PHeap(const PHeap &) = delete;
@@ -67,12 +74,19 @@ class PHeap
 
     PHeapStats stats() const;
 
+    /** Park the calling thread's superblock cache (crash sweeper and
+     *  thread-churn tests); see SuperblockHeap::detachThreadCache. */
+    void detachThreadCache() { small_->detachThreadCache(); }
+
+    bool globalLock() const { return globalLock_; }
+
   private:
     region::RegionLayer &rl_;
     std::unique_ptr<SuperblockHeap> small_;
-    std::unique_ptr<BigAlloc> big_;
+    std::unique_ptr<StripedBigAlloc> big_;
     PHeapStats initStats_;
-    std::mutex mu_;
+    const bool globalLock_;
+    std::mutex mu_;     ///< Taken only in global-lock baseline mode.
     uint64_t statsSourceToken_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "log/log_manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -41,6 +42,7 @@ LogManager::LogManager(Header *hdr, SlotState *states, uint8_t *slots_base)
     : hdr_(hdr), states_(states), slotsBase_(slots_base)
 {
     logs_.resize(size_t(hdr_->nslots));
+    nShards_ = std::min(kNumShards, logs_.size() ? logs_.size() : size_t(1));
 }
 
 std::unique_ptr<LogManager>
@@ -90,10 +92,10 @@ LogManager::open(void *mem)
 }
 
 Rawl *
-LogManager::acquire(uint64_t owner_hint)
+LogManager::acquireInShard(size_t shard, uint64_t owner_hint)
 {
-    std::lock_guard<std::mutex> g(mu_);
-    for (size_t i = 0; i < nslots(); ++i) {
+    std::lock_guard<std::mutex> g(shards_[shard].mu);
+    for (size_t i = shard; i < nslots(); i += nShards_) {
         if (states_[i].active || logs_[i])
             continue;
         // Format the log first, then durably flip the slot flag: a crash
@@ -106,23 +108,39 @@ LogManager::acquire(uint64_t owner_hint)
         ctrs().acquires.add(1);
         return logs_[i].get();
     }
+    return nullptr;
+}
+
+Rawl *
+LogManager::acquire(uint64_t owner_hint)
+{
+    // Home shard by owner hint: concurrent acquirers land on different
+    // locks and format their slots (the expensive part — megabytes of
+    // filler writes) in parallel, falling over when a shard runs dry.
+    const size_t home = size_t(owner_hint) % nShards_;
+    for (size_t s = 0; s < nShards_; ++s) {
+        if (Rawl *log = acquireInShard((home + s) % nShards_, owner_hint))
+            return log;
+    }
     throw std::runtime_error("LogManager: out of log slots");
 }
 
 void
 LogManager::release(Rawl *log)
 {
-    std::lock_guard<std::mutex> g(mu_);
-    for (size_t i = 0; i < nslots(); ++i) {
-        if (logs_[i].get() != log)
-            continue;
-        log->truncateAll();
-        auto &c = scm::ctx();
-        c.wtstoreT(&states_[i].active, uint64_t(0));
-        c.fence();
-        logs_[i].reset();
-        ctrs().releases.add(1);
-        return;
+    for (size_t shard = 0; shard < nShards_; ++shard) {
+        std::lock_guard<std::mutex> g(shards_[shard].mu);
+        for (size_t i = shard; i < nslots(); i += nShards_) {
+            if (logs_[i].get() != log)
+                continue;
+            log->truncateAll();
+            auto &c = scm::ctx();
+            c.wtstoreT(&states_[i].active, uint64_t(0));
+            c.fence();
+            logs_[i].reset();
+            ctrs().releases.add(1);
+            return;
+        }
     }
     assert(false && "release of unknown log");
 }
@@ -131,20 +149,26 @@ void
 LogManager::forEachActive(
     const std::function<void(size_t, Rawl &)> &fn)
 {
-    std::lock_guard<std::mutex> g(mu_);
-    for (size_t i = 0; i < nslots(); ++i) {
-        if (logs_[i])
-            fn(i, *logs_[i]);
+    // One shard lock at a time; visits slots in shard-interleaved
+    // order, which no caller depends on.
+    for (size_t shard = 0; shard < nShards_; ++shard) {
+        std::lock_guard<std::mutex> g(shards_[shard].mu);
+        for (size_t i = shard; i < nslots(); i += nShards_) {
+            if (logs_[i])
+                fn(i, *logs_[i]);
+        }
     }
 }
 
 size_t
 LogManager::activeCount() const
 {
-    std::lock_guard<std::mutex> g(mu_);
     size_t n = 0;
-    for (const auto &l : logs_)
-        n += (l != nullptr);
+    for (size_t shard = 0; shard < nShards_; ++shard) {
+        std::lock_guard<std::mutex> g(shards_[shard].mu);
+        for (size_t i = shard; i < nslots(); i += nShards_)
+            n += (logs_[i] != nullptr);
+    }
     return n;
 }
 

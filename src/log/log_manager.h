@@ -7,11 +7,18 @@
  * into fixed-size slots, durably tracks which slots hold live logs, and
  * re-opens all live logs during recovery so completed transactions can
  * be replayed.
+ *
+ * The volatile slot bookkeeping is sharded: slot i belongs to shard
+ * i mod kNumShards, each shard with its own mutex, so threads starting
+ * up concurrently do not serialize on one lock while formatting their
+ * (megabyte-sized) logs.  The persistent layout is untouched by the
+ * sharding — it only partitions the in-memory free-slot search.
  */
 
 #ifndef MNEMOSYNE_LOG_LOG_MANAGER_H_
 #define MNEMOSYNE_LOG_LOG_MANAGER_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -50,30 +57,47 @@ class LogManager
     /** Recover: re-open every active slot's log (torn-bit scan inside). */
     static std::unique_ptr<LogManager> open(void *mem);
 
-    /** Durably claim a free slot and return its (fresh) log. */
+    /** Durably claim a free slot and return its (fresh) log.  The
+     *  search starts in the shard keyed by @p owner_hint, so threads
+     *  acquiring concurrently format their logs in parallel. */
     Rawl *acquire(uint64_t owner_hint = 0);
 
     /** Truncate and durably release a slot's log. */
     void release(Rawl *log);
 
-    /** Visit every live log (used by recovery and async truncation). */
+    /** Visit every live log (used by recovery and async truncation).
+     *  Holds one shard lock at a time while calling @p fn. */
     void forEachActive(const std::function<void(size_t slot, Rawl &)> &fn);
 
     size_t nslots() const { return size_t(hdr_->nslots); }
     size_t slotBytes() const { return size_t(hdr_->slotBytes); }
     size_t activeCount() const;
 
+    static constexpr size_t kNumShards = 4;
+
   private:
     LogManager(Header *hdr, SlotState *states, uint8_t *slots_base);
 
     void *slotMem(size_t i) const { return slotsBase_ + i * hdr_->slotBytes; }
 
+    /** Claim a free slot within one shard; returns nullptr if the shard
+     *  is exhausted.  Takes the shard lock inside. */
+    Rawl *acquireInShard(size_t shard, uint64_t owner_hint);
+
     Header *hdr_;
     SlotState *states_;
     uint8_t *slotsBase_;
 
-    mutable std::mutex mu_;
-    std::vector<std::unique_ptr<Rawl>> logs_;  ///< Indexed by slot; null if free.
+    /** Padded so concurrently-held shard locks never share a line. */
+    struct alignas(64) Shard {
+        mutable std::mutex mu;
+    };
+    mutable std::array<Shard, kNumShards> shards_;
+    size_t nShards_ = 1;    ///< min(kNumShards, nslots).
+
+    /** Indexed by slot; null if free.  Entry i is guarded by shard
+     *  i mod nShards_. */
+    std::vector<std::unique_ptr<Rawl>> logs_;
 };
 
 } // namespace mnemosyne::log

@@ -161,6 +161,14 @@ Txn::readWord(uintptr_t word_addr)
             return *v;
     }
 
+    // The in-memory loads below are seqlock-style optimistic reads:
+    // a concurrent committer may be writing the word back while we
+    // read it, and the version re-check catches that.  The loads go
+    // through relaxed atomics (free on x86-64) so the race is defined
+    // behaviour; the device side writes with matching relaxed atomics
+    // (scm deviceCopy).
+    std::atomic_ref<uint64_t> word(
+        *reinterpret_cast<uint64_t *>(word_addr));
     auto &lock = mgr_.locks_.lockFor(reinterpret_cast<void *>(word_addr));
     for (int attempt = 0; attempt < 4; ++attempt) {
         const uint64_t v1 = lock.load(std::memory_order_acquire);
@@ -168,11 +176,11 @@ Txn::readWord(uintptr_t word_addr)
             if (LockTable::owner(v1) == id_) {
                 // I hold the stripe lock (a different word hashed here):
                 // memory is stable under my lock.
-                return *reinterpret_cast<const uint64_t *>(word_addr);
+                return word.load(std::memory_order_relaxed);
             }
             abort("read-write conflict");
         }
-        const uint64_t val = *reinterpret_cast<const uint64_t *>(word_addr);
+        const uint64_t val = word.load(std::memory_order_relaxed);
         const uint64_t v2 = lock.load(std::memory_order_acquire);
         if (v1 != v2)
             continue; // concurrent writer slipped in; retry the read

@@ -1,5 +1,6 @@
 #include "mtm/txn_manager.h"
 
+#include <array>
 #include <cassert>
 #include <random>
 #include <thread>
@@ -28,10 +29,21 @@ nextMgrId()
  * blocked in ~TxnManager on this mutex cannot finish dying mid-recycle.
  * Allocated immortally: thread_local destructors can run during process
  * teardown, after function-local statics are destroyed.
+ *
+ * Sharded by manager id so a burst of threads exiting under different
+ * managers (the thread-churn pattern) does not serialize on one mutex;
+ * shards are line-padded so the locks themselves do not false-share.
  */
 struct MgrRegistry {
-    std::mutex mu;
-    std::unordered_map<uint64_t, TxnManager *> live;
+    static constexpr size_t kShards = 8;
+
+    struct alignas(64) Shard {
+        std::mutex mu;
+        std::unordered_map<uint64_t, TxnManager *> live;
+    };
+    std::array<Shard, kShards> shards;
+
+    Shard &shardFor(uint64_t id) { return shards[id % kShards]; }
 };
 
 MgrRegistry &
@@ -66,10 +78,11 @@ struct LogLeases {
     ~LogLeases()
     {
         auto &reg = mgrRegistry();
-        std::lock_guard<std::mutex> g(reg.mu);
         for (const auto &l : leases) {
-            auto it = reg.live.find(l.mgr);
-            if (it != reg.live.end())
+            auto &shard = reg.shardFor(l.mgr);
+            std::lock_guard<std::mutex> g(shard.mu);
+            auto it = shard.live.find(l.mgr);
+            if (it != shard.live.end())
                 it->second->recycleLog(l.log);
         }
     }
@@ -114,9 +127,9 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
     truncator_ = std::make_unique<TruncationThread>();
 
     {
-        auto &reg = mgrRegistry();
-        std::lock_guard<std::mutex> g(reg.mu);
-        reg.live.emplace(mgrId_, this);
+        auto &shard = mgrRegistry().shardFor(mgrId_);
+        std::lock_guard<std::mutex> g(shard.mu);
+        shard.live.emplace(mgrId_, this);
     }
 
     // Counts sum across live managers; per-thread arrays are indexed by
@@ -146,9 +159,9 @@ TxnManager::~TxnManager()
 {
     {
         // After this, exiting threads' lease destructors skip us.
-        auto &reg = mgrRegistry();
-        std::lock_guard<std::mutex> g(reg.mu);
-        reg.live.erase(mgrId_);
+        auto &shard = mgrRegistry().shardFor(mgrId_);
+        std::lock_guard<std::mutex> g(shard.mu);
+        shard.live.erase(mgrId_);
     }
     obs::StatsRegistry::instance().removeSource(statsSourceToken_);
     if (truncator_)

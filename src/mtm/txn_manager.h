@@ -149,8 +149,12 @@ class TxnManager
     region::RegionLayer &rl_;
     TxnConfig cfg_;
     LockTable locks_;
-    std::atomic<uint64_t> clock_{0};
-    std::atomic<uint64_t> nextTxnId_{1};
+    // Every committing writer bumps clock_ and every begin bumps
+    // nextTxnId_; cache-line-align both so the two hottest words in the
+    // manager never ping-pong on one line (with each other or with the
+    // cold members around them).
+    alignas(64) std::atomic<uint64_t> clock_{0};
+    alignas(64) std::atomic<uint64_t> nextTxnId_{1};
     std::unique_ptr<log::LogManager> logs_;
     std::unique_ptr<TruncationThread> truncator_;
     const uint64_t mgrId_;

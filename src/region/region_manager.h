@@ -54,6 +54,23 @@
 #define MNEMOSYNE_ASAN_ACTIVE 0
 #endif
 
+// TSan owns most of the address space for shadow/metainfo and its
+// interceptor silently drops mmap hints outside its application ranges
+// (libtsan's low app range ends at 0x0080'0000'0000; the mid range
+// hosts the PIE binary, so large fixed maps there can collide).  TSan
+// builds therefore park the persistent range at 256 GB with a 256 GB
+// reservation, which fits entirely inside the low app range.
+#if defined(__SANITIZE_THREAD__)
+#define MNEMOSYNE_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MNEMOSYNE_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef MNEMOSYNE_TSAN_ACTIVE
+#define MNEMOSYNE_TSAN_ACTIVE 0
+#endif
+
 namespace mnemosyne::region {
 
 inline constexpr size_t kPageSize = 4096;
@@ -61,11 +78,14 @@ inline constexpr size_t kPageSize = 4096;
 /** Configuration of the simulated SCM zone and address space. */
 struct RegionConfig {
     /** Base of the reserved persistent address range. */
-    uintptr_t va_base =
-        MNEMOSYNE_ASAN_ACTIVE ? 0x550000000000ULL : 0x600000000000ULL;
+    uintptr_t va_base = MNEMOSYNE_TSAN_ACTIVE   ? 0x004000000000ULL
+                        : MNEMOSYNE_ASAN_ACTIVE ? 0x550000000000ULL
+                                                : 0x600000000000ULL;
 
-    /** Size of the reserved range (the paper reserves 1 TB). */
-    size_t va_reserve = size_t(1) << 40;
+    /** Size of the reserved range (the paper reserves 1 TB; TSan's low
+     *  application range only fits 256 GB). */
+    size_t va_reserve =
+        MNEMOSYNE_TSAN_ACTIVE ? size_t(1) << 38 : size_t(1) << 40;
 
     /** Simulated physical SCM capacity (frame budget for residency). */
     size_t scm_capacity = size_t(256) << 20;

@@ -58,7 +58,8 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
 
     // 3. Recover the persistent heap and scavenge its volatile indexes.
     heap_ = std::make_unique<heap::PHeap>(*regions_, cfg_.small_heap_bytes,
-                                          cfg_.big_heap_bytes);
+                                          cfg_.big_heap_bytes,
+                                          cfg_.heap_global_lock);
     auto t3 = clk::now();
     reinc_.heap_scavenge = t3 - t2;
     tr.record(obs::TraceEv::kReincPhase, 3, 0,

@@ -44,6 +44,12 @@ struct RuntimeConfig {
     size_t static_region_bytes = 1 << 20;
     size_t small_heap_bytes = size_t(32) << 20;
     size_t big_heap_bytes = size_t(32) << 20;
+
+    /** Serialize pmalloc/pfree on one global mutex (the pre-scaling
+     *  behaviour).  Baseline mode for the thread-scaling benchmark;
+     *  leave off for the per-thread Hoard caches. */
+    bool heap_global_lock = false;
+
     mtm::TxnConfig txn;
 
     /**

@@ -34,6 +34,29 @@ nextCtxId()
     return gen.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+// Live writes into the persistent range can race with the MTM's
+// optimistic readers: Txn::readWord is a seqlock-style read that is
+// validated against the stripe version and retried on instability.
+// The protocol is correct, but a plain memcpy would make that race
+// undefined behaviour (and a ThreadSanitizer report), so device-level
+// copies go through word-sized relaxed atomics — free on x86-64 —
+// whenever the destination is word-aligned.
+void
+deviceCopy(void *dst, const void *src, size_t len)
+{
+    if ((reinterpret_cast<uintptr_t>(dst) | len) & 7) {
+        std::memcpy(dst, src, len);
+        return;
+    }
+    auto *dw = reinterpret_cast<uint64_t *>(dst);
+    const auto *sb = static_cast<const uint8_t *>(src);
+    for (size_t i = 0; i < len / 8; ++i) {
+        uint64_t v;
+        std::memcpy(&v, sb + i * 8, 8);
+        std::atomic_ref<uint64_t>(dw[i]).store(v, std::memory_order_relaxed);
+    }
+}
+
 } // namespace
 
 ScmContext &
@@ -175,7 +198,7 @@ ScmContext::makeEntry(void *addr, const void *src, size_t len,
         e.spill = std::make_unique<uint8_t[]>(2 * len);
     std::memcpy(e.oldBytes(), addr, len);
     std::memcpy(e.newBytes(), src, len);
-    std::memcpy(addr, src, len);
+    deviceCopy(addr, src, len);
     return e;
 }
 
@@ -190,7 +213,7 @@ ScmContext::store(void *addr, const void *src, size_t len)
                                       uintptr_t(addr), len);
     hookEvent(Event::kStore, addr, len);
     if (!cfg_.failure_tracking) {
-        std::memcpy(addr, src, len);
+        deviceCopy(addr, src, len);
         return;
     }
     // Into the shared cache pool: the write is coherent and visible,
@@ -221,7 +244,7 @@ ScmContext::wtstore(void *addr, const void *src, size_t len)
         // Fast lane (pure software measurement): no journal entry, and
         // the bandwidth model is moot with no delay realization — skip
         // the per-thread state lookup and the steady_clock read.
-        std::memcpy(addr, src, len);
+        deviceCopy(addr, src, len);
         return;
     }
     ThreadScm &t = self();
@@ -229,7 +252,7 @@ ScmContext::wtstore(void *addr, const void *src, size_t len)
         t.wtSeqStart = std::chrono::steady_clock::now();
     t.wtBytesSinceFence += len;
     if (!cfg_.failure_tracking) {
-        std::memcpy(addr, src, len);
+        deviceCopy(addr, src, len);
         return;
     }
     JournalEntry e = makeEntry(addr, src, len, WriteState::kIssued);
