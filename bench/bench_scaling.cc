@@ -48,6 +48,7 @@
 
 #include "bench/bench_util.h"
 #include "mtm/txn_manager.h"
+#include "obs/trace_ring.h"
 #include "runtime/runtime.h"
 
 namespace bench = mnemosyne::bench;
@@ -163,8 +164,16 @@ runHeapCell(int nthreads, bool global_lock)
     return cell;
 }
 
+struct TxnCell {
+    double ops_per_sec = 0;
+    /** Interval commit-latency percentiles (mtm.commit_ns HDR, sampled
+     *  1-in-16 commits); zero when obs is off. */
+    double p50 = 0, p95 = 0, p99 = 0;
+    uint64_t samples = 0;
+};
+
 /** One txn cell: @p nthreads running the PR3 update shape, disjoint. */
-double
+TxnCell
 runTxnCell(int nthreads)
 {
     constexpr uint64_t kWarmup = 20000;  // per thread
@@ -179,6 +188,7 @@ runTxnCell(int nthreads)
         "scaling_arr", 8 * kRegion * sizeof(uint64_t), nullptr));
 
     auto worker = [&](int t, uint64_t txns) {
+        obs::setCurrentThreadName("txn-worker-" + std::to_string(t));
         uint64_t *mine = arr + size_t(t) * kRegion;
         for (uint64_t i = 0; i < txns; ++i) {
             rt.atomic([&](mnemosyne::mtm::Txn &tx) {
@@ -201,9 +211,21 @@ runTxnCell(int nthreads)
     };
 
     runThreads(kWarmup);
+    obs::Phase phase("scaling_txn_" + std::to_string(nthreads) + "t");
     bench::Timer timer;
     runThreads(kTxns);
-    return double(kTxns) * nthreads / timer.s();
+    const double secs = timer.s();
+    const auto interval = phase.finish();
+
+    TxnCell cell;
+    cell.ops_per_sec = double(kTxns) * nthreads / secs;
+    cell.samples = interval.hdrCount("mtm.commit_ns");
+    if (cell.samples) {
+        cell.p50 = double(interval.hdrQuantile("mtm.commit_ns", 0.50));
+        cell.p95 = double(interval.hdrQuantile("mtm.commit_ns", 0.95));
+        cell.p99 = double(interval.hdrQuantile("mtm.commit_ns", 0.99));
+    }
+    return cell;
 }
 
 } // namespace
@@ -251,25 +273,34 @@ main()
                     i + 1 < threads.size() ? ", " : "");
     std::printf(")\n");
 
-    std::vector<double> txn(threads.size());
+    std::vector<TxnCell> txn(threads.size());
     for (size_t i = 0; i < threads.size(); ++i) {
         txn[i] = runTxnCell(threads[i]);
         std::printf("  measured txn @ %dT...\n", threads[i]);
     }
 
-    std::printf("\ntxn-heavy (K update txns/s, disjoint working sets):\n");
-    std::printf("%8s  %12s %8s\n", "threads", "txns/s", "vs 1T");
-    for (size_t i = 0; i < threads.size(); ++i)
-        std::printf("%7d%s  %12.1f %7.2fx\n", threads[i],
-                    unsigned(threads[i]) > hw ? "*" : " ", txn[i] / 1e3,
-                    txn[i] / txn[0]);
+    std::printf("\ntxn-heavy (K update txns/s, disjoint working sets; "
+                "commit latency in ns from the sampled HDR):\n");
+    std::printf("%8s  %12s %8s  %10s %10s %10s\n", "threads", "txns/s",
+                "vs 1T", "commit-p50", "p95", "p99");
+    for (size_t i = 0; i < threads.size(); ++i) {
+        std::printf("%7d%s  %12.1f %7.2fx", threads[i],
+                    unsigned(threads[i]) > hw ? "*" : " ",
+                    txn[i].ops_per_sec / 1e3,
+                    txn[i].ops_per_sec / txn[0].ops_per_sec);
+        if (txn[i].samples)
+            std::printf("  %10.0f %10.0f %10.0f\n", txn[i].p50, txn[i].p95,
+                        txn[i].p99);
+        else
+            std::printf("  %10s %10s %10s\n", "-", "-", "-");
+    }
 
     std::printf("\nshape checks:\n");
     std::printf("  4T pmalloc, per-thread vs global lock: %.2fx "
                 "(target >= 2.5x)\n",
                 hoard[2].ops_per_sec / base[2].ops_per_sec);
     std::printf("  1T txn throughput: %.0f txns/s (PR3 recorded 2009320; "
-                "must stay within 5%%)\n", txn[0]);
+                "must stay within 5%%)\n", txn[0].ops_per_sec);
 
     std::vector<std::pair<std::string, double>> metrics;
     for (size_t i = 0; i < threads.size(); ++i) {
@@ -282,7 +313,12 @@ main()
                              base[i].wall_ops_per_sec);
         metrics.emplace_back("pmalloc_per_thread_wall_ops_" + t,
                              hoard[i].wall_ops_per_sec);
-        metrics.emplace_back("txn_ops_" + t, txn[i]);
+        metrics.emplace_back("txn_ops_" + t, txn[i].ops_per_sec);
+        if (txn[i].samples) {
+            metrics.emplace_back("txn_commit_ns_p50_" + t, txn[i].p50);
+            metrics.emplace_back("txn_commit_ns_p95_" + t, txn[i].p95);
+            metrics.emplace_back("txn_commit_ns_p99_" + t, txn[i].p99);
+        }
     }
     metrics.emplace_back("pmalloc_4t_speedup",
                          hoard[2].ops_per_sec / base[2].ops_per_sec);

@@ -23,6 +23,7 @@
 #endif
 
 #include "obs/obs.h"
+#include "obs/phase.h"
 #include "obs/stats_registry.h"
 #include "pcmdisk/pcmdisk.h"
 #include "runtime/runtime.h"
@@ -221,6 +222,48 @@ emitStatsJson(
     line += obs::StatsRegistry::instance().jsonSnapshot();
     line += '}';
     std::printf("%s\n", line.c_str());
+}
+
+/**
+ * One formatted percentile row for an HDR histogram key out of a
+ * phase diff — exact *interval* percentiles, since Phase subtracts raw
+ * bucket arrays, not derived quantiles.  Empty string when the
+ * interval recorded nothing (key absent, sampling missed, MN_OBS=OFF).
+ */
+inline std::string
+hdrRow(const obs::PhaseResult &r, const std::string &key)
+{
+    const uint64_t n = r.hdrCount(key);
+    if (n == 0)
+        return {};
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "p50=%llu  p90=%llu  p95=%llu  p99=%llu  p999=%llu  "
+                  "(n=%llu)",
+                  (unsigned long long)r.hdrQuantile(key, 0.50),
+                  (unsigned long long)r.hdrQuantile(key, 0.90),
+                  (unsigned long long)r.hdrQuantile(key, 0.95),
+                  (unsigned long long)r.hdrQuantile(key, 0.99),
+                  (unsigned long long)r.hdrQuantile(key, 0.999),
+                  (unsigned long long)n);
+    return buf;
+}
+
+/** Append "<prefix>_p50/_p95/_p99" metrics for an HDR key when the
+ *  phase interval recorded samples. */
+inline void
+appendHdrMetrics(std::vector<std::pair<std::string, double>> &metrics,
+                 const obs::PhaseResult &r, const std::string &key,
+                 const std::string &prefix)
+{
+    if (r.hdrCount(key) == 0)
+        return;
+    metrics.emplace_back(prefix + "_p50",
+                         double(r.hdrQuantile(key, 0.50)));
+    metrics.emplace_back(prefix + "_p95",
+                         double(r.hdrQuantile(key, 0.95)));
+    metrics.emplace_back(prefix + "_p99",
+                         double(r.hdrQuantile(key, 0.99)));
 }
 
 } // namespace mnemosyne::bench

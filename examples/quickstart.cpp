@@ -19,9 +19,12 @@
  * demonstrates persistence end to end.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 
 #include "mtm/txn_manager.h"
 #include "obs/obs.h"
@@ -76,7 +79,7 @@ pushFront(mn::Runtime &rt, ListHead *head, uint64_t value)
 }
 
 void
-oneSession(const std::string &dir)
+oneSession(const std::string &dir, bool linger = false)
 {
     mn::Runtime rt(config(dir));
 
@@ -116,6 +119,22 @@ oneSession(const std::string &dir)
         std::printf("observability snapshot of this session:\n%s\n",
                     obs::StatsRegistry::instance().textSnapshot().c_str());
     }
+
+    // Hold the runtime open so live clients (mn_stat against
+    // MNEMOSYNE_STATS_PORT, or a SIGUSR2 dump) can pull a snapshot
+    // while every layer is still registered.  CI's obs-schema job
+    // relies on this.
+    if (linger) {
+        if (const char *v = std::getenv("MNEMOSYNE_QUICKSTART_LINGER_MS")) {
+            const long ms = std::strtol(v, nullptr, 10);
+            if (ms > 0) {
+                std::printf("lingering %ld ms for live stats clients...\n",
+                            ms);
+                std::fflush(stdout);
+                std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+            }
+        }
+    }
 }
 
 } // namespace
@@ -134,7 +153,7 @@ main(int argc, char **argv)
     // every layer's counters in one place.
     oneSession(dir);
     obs::setEnabled(true);
-    oneSession(dir);
+    oneSession(dir, /*linger=*/true);
     std::printf("run the binary again: the list keeps growing.\n");
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "crash/crash_harness.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mnemosyne::crash {
@@ -213,6 +214,16 @@ Sweeper::runTrialIn(const SweepSpec &spec, size_t worker)
 {
     TrialResult res;
     res.spec = spec;
+
+    // Record every transaction of the trial in this worker's flight
+    // ring: when verification fails, the victim's last transactions —
+    // with span timings and log byte counts — ride along in the repro.
+    auto &flight = obs::FlightRecorder::instance();
+    flight.setSampleEvery(1);
+    flight.setEnabled(true);
+    flight.clearThread();
+    std::vector<obs::FlightRecord> flightTail;
+
     try {
         TrialDir dir(opts_.tmp_root);
         auto sc = ScenarioRegistry::instance().create(spec.scenario);
@@ -238,6 +249,10 @@ Sweeper::runTrialIn(const SweepSpec &spec, size_t worker)
             // Compute the post-crash image under this trial's mode and
             // seed; halt so the Runtime teardown below cannot write.
             c.crash(/*halt_after=*/true);
+
+            // Capture the victim's flight-recorder tail now, before
+            // recovery-time transactions overwrite the ring.
+            flightTail = flight.threadSnapshot();
         }
         // Reincarnate over the same backing files, under a pristine
         // context, and check the scenario's invariant.
@@ -257,6 +272,18 @@ Sweeper::runTrialIn(const SweepSpec &spec, size_t worker)
     } catch (const std::exception &e) {
         res.passed = false;
         res.detail = std::string("exception: ") + e.what();
+    }
+    if (!res.passed && !flightTail.empty()) {
+        // Mismatch forensics: the last few transactions the victim ran
+        // before the crash point, newest last.
+        constexpr size_t kTailRecords = 8;
+        if (flightTail.size() > kTailRecords)
+            flightTail.erase(flightTail.begin(),
+                             flightTail.end() - kTailRecords);
+        res.detail += "\nflight-recorder tail (last ";
+        res.detail += std::to_string(flightTail.size());
+        res.detail += " txns): ";
+        res.detail += obs::FlightRecorder::recordsJson(flightTail);
     }
     ctrs().trials.add(1);
     if (!res.passed)

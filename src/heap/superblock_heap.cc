@@ -6,6 +6,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 #include "scm/scm.h"
 
@@ -52,7 +53,9 @@ nextHeapId()
 struct SbObs {
     obs::Counter transfers{"heap.superblock_transfers"};
     obs::Counter contended{"heap.lock_contended", true};
-    obs::Histogram lock_wait{"heap.lock_wait_ns"};
+    /** Contended-acquire wait, HDR-bucketed: heap lock waits cluster
+     *  tightly, and log2 buckets hide 2x regressions inside one bin. */
+    obs::HdrHistogram lock_wait{"heap.lock_wait_ns"};
 };
 
 SbObs &

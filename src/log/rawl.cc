@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 #include "obs/trace_ring.h"
 #include "scm/scm.h"
@@ -23,7 +24,9 @@ struct RawlCounters {
     obs::Counter pass_flips{"rawl.pass_flips"};
     obs::Counter flushes{"rawl.flushes"};
     obs::Counter truncations{"rawl.truncations"};
-    obs::Histogram append_stall_ns{"rawl.append_stall_ns"};
+    /** Full-log stall latency: HDR-bucketed (~3% relative error) so a
+     *  truncation-policy change shows up in p99, not just the mean. */
+    obs::HdrHistogram append_stall_ns{"rawl.append_stall_ns"};
 };
 
 RawlCounters &
@@ -251,17 +254,24 @@ Rawl::append(const uint64_t *words, size_t n)
         if (tryAppend(words, n))
             break;
     }
-    if (t0)
-        ctrs().append_stall_ns.record(obs::nowNs() - t0);
+    if (t0) {
+        const uint64_t stall_ns = obs::nowNs() - t0;
+        ctrs().append_stall_ns.record(stall_ns);
+        obs::TraceRing::instance().record(obs::TraceEv::kLogAppend, n,
+                                          /*stalled=*/1, stall_ns);
+    }
 }
 
 void
 Rawl::flush()
 {
+    auto &ring = obs::TraceRing::instance();
+    const uint64_t t0 = ring.enabled() ? obs::nowNs() : 0;
     scm::ctx().fence();
     flushedShadow_.store(tail_, std::memory_order_release);
     ctrs().flushes.add(1);
-    obs::TraceRing::instance().record(obs::TraceEv::kLogFlush, tail_);
+    ring.record(obs::TraceEv::kLogFlush, tail_, 0,
+                t0 ? obs::nowNs() - t0 : 0);
 }
 
 void
@@ -305,14 +315,16 @@ void
 Rawl::consumeTo(Cursor c, bool do_fence)
 {
     auto &ctx = scm::ctx();
+    auto &ring = obs::TraceRing::instance();
+    const uint64_t t0 = ring.enabled() ? obs::nowNs() : 0;
     const uint64_t freed = c.pos - headShadow_.load(std::memory_order_acquire);
     ctx.wtstoreT(&hdr_->headAbs, c.pos);
     if (do_fence)
         ctx.fence();
     headShadow_.store(c.pos, std::memory_order_release);
     ctrs().truncations.add(1);
-    obs::TraceRing::instance().record(obs::TraceEv::kLogTruncate, c.pos,
-                                      freed);
+    ring.record(obs::TraceEv::kLogTruncate, c.pos, freed,
+                t0 ? obs::nowNs() - t0 : 0);
 }
 
 } // namespace mnemosyne::log

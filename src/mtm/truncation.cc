@@ -1,6 +1,7 @@
 #include "mtm/truncation.h"
 
 #include "obs/obs.h"
+#include "obs/trace_ring.h"
 #include "scm/scm.h"
 
 namespace mnemosyne::mtm {
@@ -88,6 +89,7 @@ void
 TruncationThread::run()
 {
     scm::setThreadCtx(parentCtx_);
+    obs::setCurrentThreadName("async-trunc");
     for (;;) {
         Task task;
         {

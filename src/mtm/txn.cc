@@ -6,6 +6,7 @@
 
 #include "mtm/truncation.h"
 #include "mtm/txn_manager.h"
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 #include "obs/trace_ring.h"
 #include "scm/scm.h"
@@ -28,6 +29,21 @@ syncTruncHist()
     return h;
 }
 
+/** Update-transaction commit() latency, sampled 1 in 16 (the two TSC
+ *  reads are cheap, but a 2M txn/s workload still shouldn't pay them
+ *  every commit); HDR-bucketed so p99 moves are visible at ~3%. */
+obs::HdrHistogram &
+commitLatencyHist()
+{
+    static obs::HdrHistogram h{"mtm.commit_ns"};
+    return h;
+}
+
+/** Touch at load so the mtm.commit_ns.* keys appear in every snapshot,
+ *  including processes whose few commits never hit the 1-in-16 sample
+ *  (live clients can then rely on the key existing). */
+[[maybe_unused]] obs::HdrHistogram &gCommitHistEager = commitLatencyHist();
+
 } // namespace
 
 void
@@ -38,6 +54,8 @@ Txn::begin(uint64_t id, log::Rawl *log)
     startTs_ = mgr_.clock_.load(std::memory_order_acquire);
     depth_ = 1;
     active_ = true;
+    flight_ = obs::FlightRecorder::instance().beginTxn(id_);
+    flightDetail_ = flight_ != nullptr && flight_->sampled ? flight_ : nullptr;
     obs::TraceRing::instance().record(obs::TraceEv::kTxnBegin, id_,
                                       startTs_);
 }
@@ -68,6 +86,10 @@ Txn::rollback()
     for (auto it = abortHooks_.rbegin(); it != abortHooks_.rend(); ++it)
         (*it)();
     const uint64_t id = id_;
+    obs::FlightRecorder::instance().endTxn(flight_, obs::kFlightAborted,
+                                           /*commit_ts=*/0);
+    flight_ = nullptr;
+    flightDetail_ = nullptr;
     reset();
     mgr_.nAborts_.add(1);
     obs::TraceRing::instance().record(obs::TraceEv::kTxnAbort, id);
@@ -207,6 +229,9 @@ void
 Txn::write(void *addr, const void *src, size_t len)
 {
     assert(active_);
+    obs::SpanScope span(flightDetail_, obs::Span::kWriteBarrier);
+    if (flightDetail_)
+        flightDetail_->writes += uint32_t((len + 7) / 8);
     const auto *bytes = static_cast<const uint8_t *>(src);
     uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     size_t remaining = len;
@@ -239,6 +264,9 @@ void
 Txn::read(void *dst, const void *addr, size_t len)
 {
     assert(active_);
+    obs::SpanScope span(flightDetail_, obs::Span::kReadBarrier);
+    if (flightDetail_)
+        flightDetail_->reads += uint32_t((len + 7) / 8);
     auto *out = static_cast<uint8_t *>(dst);
     uintptr_t a = reinterpret_cast<uintptr_t>(addr);
     size_t remaining = len;
@@ -265,6 +293,11 @@ Txn::stageAndAppendRedo(uint64_t ts)
     redoScratch_[0] = kTagCommit;
     redoScratch_[1] = ts;
     redoWordsCtr().add(redoScratch_.size() - 2);
+    if (flightDetail_) {
+        flightDetail_->redo_words += uint32_t(redoScratch_.size() - 2);
+        flightDetail_->log_bytes +=
+            uint32_t(redoScratch_.size() * sizeof(uint64_t));
+    }
 
     // Records are additionally capped well below a large log's capacity:
     // the tornbit restaging buffer stays cache-sized, and a chunk is
@@ -273,29 +306,37 @@ Txn::stageAndAppendRedo(uint64_t ts)
     const size_t max_rec = std::min(
         log::Rawl::maxRecordWords(log_->capacityWords()), kMaxStagedWords);
     assert(max_rec >= 4 && "log slot too small for any transaction");
-    if (redoScratch_.size() <= max_rec) {
-        log_->append(redoScratch_.data(), redoScratch_.size());
-    } else {
-        // Oversized transaction: spill leading pair chunks as plain
-        // records, then fold the tail into the commit record.  Recovery
-        // buffers pair records until the commit record arrives; a crash
-        // before it discards the spilled chunks (torn transaction).
-        const size_t chunk = (max_rec - 2) & ~size_t(1);
-        size_t pos = 2;
-        size_t remaining = redoScratch_.size() - 2;
-        while (remaining + 2 > max_rec) {
-            log_->append(&redoScratch_[pos], chunk);
-            pos += chunk;
-            remaining -= chunk;
+    {
+        obs::SpanScope append_span(flightDetail_, obs::Span::kLogAppend);
+        if (redoScratch_.size() <= max_rec) {
+            log_->append(redoScratch_.data(), redoScratch_.size());
+        } else {
+            // Oversized transaction: spill leading pair chunks as plain
+            // records, then fold the tail into the commit record.
+            // Recovery buffers pair records until the commit record
+            // arrives (and discards them if it never does).
+            const size_t chunk = (max_rec - 2) & ~size_t(1);
+            size_t pos = 2;
+            size_t remaining = redoScratch_.size() - 2;
+            while (remaining + 2 > max_rec) {
+                log_->append(&redoScratch_[pos], chunk);
+                pos += chunk;
+                remaining -= chunk;
+            }
+            // The commit header slides down next to the tail pairs so
+            // the final append stays one contiguous range.
+            redoScratch_[pos - 2] = kTagCommit;
+            redoScratch_[pos - 1] = ts;
+            log_->append(&redoScratch_[pos - 2], remaining + 2);
         }
-        // The commit header slides down next to the tail pairs so the
-        // final append stays one contiguous range.
-        redoScratch_[pos - 2] = kTagCommit;
-        redoScratch_[pos - 1] = ts;
-        log_->append(&redoScratch_[pos - 2], remaining + 2);
     }
     // Durability point: one fence thanks to the tornbit RAWL.
-    log_->flush();
+    {
+        obs::SpanScope fence_span(flightDetail_, obs::Span::kLogFence);
+        log_->flush();
+    }
+    if (flightDetail_)
+        flightDetail_->fences += 1;
 }
 
 void
@@ -310,6 +351,11 @@ Txn::commit()
         for (auto &h : commitHooks_)
             h();
         const uint64_t id = id_;
+        obs::FlightRecorder::instance().endTxn(
+            flight_, obs::kFlightCommitted | obs::kFlightReadOnly,
+            /*commit_ts=*/0);
+        flight_ = nullptr;
+    flightDetail_ = nullptr;
         reset();
         mgr_.nReadonly_.add(1);
         obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id,
@@ -317,32 +363,45 @@ Txn::commit()
         return;
     }
 
+    // Commit-operation latency (update transactions), sampled 1 in 16
+    // into the mtm.commit_ns HDR histogram: cheap TSC reads, converted
+    // to ns off the hot path.
+    const uint64_t commit_t0 =
+        obs::enabled() && (++commitSample_ & 15) == 0 ? obs::tickNow() : 0;
+
     // Total order over transactions: the global timestamp counter,
     // stored with the commit record for replay ordering (section 5).
     // The timestamp is taken BEFORE validation so that any conflicting
     // writer serializes strictly before or after this transaction.
     const uint64_t ts =
         mgr_.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (startTs_ != ts - 1)
-        validateOrAbort("commit validation failed");
+    {
+        obs::SpanScope validate_span(flightDetail_, obs::Span::kValidate);
+        if (startTs_ != ts - 1)
+            validateOrAbort("commit validation failed");
+    }
 
-    // Sort the write set once into reusable scratch; the sorted order
-    // drives line coalescing for flushes and write-back runs.
-    sortScratch_.assign(writeWords_.begin(), writeWords_.end());
-    std::sort(sortScratch_.begin(), sortScratch_.end(),
-              [](const WriteSet::Item &a, const WriteSet::Item &b) {
-                  return a.key < b.key;
-              });
-    lineScratch_.clear();
-    redoScratch_.clear();
-    redoScratch_.resize(2); // [kTagCommit, ts] patched in stageAndAppendRedo
-    for (const auto &it : sortScratch_) {
-        if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(it.key))) {
-            redoScratch_.push_back(it.key);
-            redoScratch_.push_back(it.val);
-            const uintptr_t line = it.key & ~uintptr_t(63);
-            if (lineScratch_.empty() || lineScratch_.back() != line)
-                lineScratch_.push_back(line);
+    {
+        // Staging: sort the write set once into reusable scratch (the
+        // sorted order drives line coalescing for flushes and
+        // write-back runs) and build the redo record.
+        obs::SpanScope stage_span(flightDetail_, obs::Span::kLogStage);
+        sortScratch_.assign(writeWords_.begin(), writeWords_.end());
+        std::sort(sortScratch_.begin(), sortScratch_.end(),
+                  [](const WriteSet::Item &a, const WriteSet::Item &b) {
+                      return a.key < b.key;
+                  });
+        lineScratch_.clear();
+        redoScratch_.clear();
+        redoScratch_.resize(2); // [kTagCommit, ts] patched in staging
+        for (const auto &it : sortScratch_) {
+            if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(it.key))) {
+                redoScratch_.push_back(it.key);
+                redoScratch_.push_back(it.val);
+                const uintptr_t line = it.key & ~uintptr_t(63);
+                if (lineScratch_.empty() || lineScratch_.back() != line)
+                    lineScratch_.push_back(line);
+            }
         }
     }
     const bool logged = redoScratch_.size() > 2;
@@ -350,30 +409,34 @@ Txn::commit()
     if (logged)
         stageAndAppendRedo(ts);
 
-    // Write back the new values in place (lazy version management),
-    // coalescing contiguous words into single cached stores.
-    for (size_t i = 0; i < sortScratch_.size();) {
-        const uintptr_t start = sortScratch_[i].key;
-        runScratch_.clear();
-        runScratch_.push_back(sortScratch_[i].val);
-        size_t j = i + 1;
-        while (j < sortScratch_.size() &&
-               sortScratch_[j].key == sortScratch_[j - 1].key + 8) {
-            runScratch_.push_back(sortScratch_[j].val);
-            ++j;
+    {
+        obs::SpanScope wb_span(flightDetail_, obs::Span::kWriteBack);
+        // Write back the new values in place (lazy version management),
+        // coalescing contiguous words into single cached stores.
+        for (size_t i = 0; i < sortScratch_.size();) {
+            const uintptr_t start = sortScratch_[i].key;
+            runScratch_.clear();
+            runScratch_.push_back(sortScratch_[i].val);
+            size_t j = i + 1;
+            while (j < sortScratch_.size() &&
+                   sortScratch_[j].key == sortScratch_[j - 1].key + 8) {
+                runScratch_.push_back(sortScratch_[j].val);
+                ++j;
+            }
+            c.store(reinterpret_cast<void *>(start), runScratch_.data(),
+                    runScratch_.size() * sizeof(uint64_t));
+            i = j;
         }
-        c.store(reinterpret_cast<void *>(start), runScratch_.data(),
-                runScratch_.size() * sizeof(uint64_t));
-        i = j;
-    }
 
-    // Release the locks at the commit timestamp.
-    for (const auto &it : lockPrev_) {
-        reinterpret_cast<LockTable::Word *>(it.key)->store(
-            LockTable::makeVersion(ts), std::memory_order_release);
+        // Release the locks at the commit timestamp.
+        for (const auto &it : lockPrev_) {
+            reinterpret_cast<LockTable::Word *>(it.key)->store(
+                LockTable::makeVersion(ts), std::memory_order_release);
+        }
     }
 
     if (logged) {
+        obs::SpanScope trunc_span(flightDetail_, obs::Span::kTruncate);
         if (mgr_.cfg_.truncation == Truncation::kSync) {
             // Synchronous truncation: force new values to memory during
             // commit, then drop the whole per-thread log.  The head
@@ -392,6 +455,10 @@ Txn::commit()
                             /*do_fence=*/false);
             if (t0)
                 syncTruncHist().record(obs::nowNs() - t0);
+            if (flightDetail_) {
+                flightDetail_->flushes += uint32_t(lineScratch_.size());
+                flightDetail_->fences += 1;
+            }
         } else {
             mgr_.truncator_->enqueue(TruncationThread::Task{
                 log_, log_->tailAbs(),
@@ -402,7 +469,14 @@ Txn::commit()
 
     for (auto &h : commitHooks_)
         h();
+    if (commit_t0)
+        commitLatencyHist().recordAlways(
+            obs::ticksToNs(obs::tickNow() - commit_t0));
     const uint64_t id = id_;
+    obs::FlightRecorder::instance().endTxn(flight_, obs::kFlightCommitted,
+                                           ts);
+    flight_ = nullptr;
+    flightDetail_ = nullptr;
     reset();
     mgr_.nCommits_.add(1);
     obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id, ts);

@@ -45,6 +45,7 @@
 #include "log/rawl.h"
 #include "mtm/lock_table.h"
 #include "mtm/write_set.h"
+#include "obs/flight_recorder.h"
 
 namespace mnemosyne::mtm {
 
@@ -126,8 +127,19 @@ class Txn
     uint64_t id_ = 0;
     uint64_t startTs_ = 0;
     uint64_t truncSample_ = 0;      ///< Sync-trunc histogram sampling.
+    uint64_t commitSample_ = 0;     ///< mtm.commit_ns HDR sampling.
     int depth_ = 0;                 ///< Flat nesting.
     bool active_ = false;
+
+    /** Flight-recorder frame for the attempt in flight (nullptr when
+     *  the recorder is disabled); owned by the recorder. */
+    obs::FlightFrame *flight_ = nullptr;
+
+    /** flight_ when this attempt is sampled for span detail, else
+     *  nullptr — the barrier/commit instrumentation sites test this one
+     *  pointer, so unsampled transactions take the same null-check
+     *  fast path as a disabled recorder. */
+    obs::FlightFrame *flightDetail_ = nullptr;
 
     /** Volatile buffer of new values (lazy version management):
      *  open-addressed word map plus read-own-writes bloom filter. */

@@ -44,6 +44,42 @@ nowNs()
                         .count());
 }
 
+namespace {
+
+/** Nanoseconds per tick in Q32 fixed point, calibrated against the
+ *  steady clock over a short busy window.  On non-x86 tickNow() IS
+ *  nowNs(), so the factor is exactly 1.0. */
+uint64_t
+calibrateNsPerTickQ32()
+{
+#if defined(__x86_64__)
+    const uint64_t t0 = tickNow();
+    const uint64_t n0 = nowNs();
+    // ~200us window: long enough to swamp the clock-read cost, short
+    // enough to be invisible at process start.
+    while (nowNs() - n0 < 200000) {
+    }
+    const uint64_t dt = tickNow() - t0;
+    const uint64_t dn = nowNs() - n0;
+    if (dt == 0)
+        return uint64_t(1) << 32;
+    using u128 = unsigned __int128;
+    return uint64_t((u128(dn) << 32) / dt);
+#else
+    return uint64_t(1) << 32;
+#endif
+}
+
+} // namespace
+
+uint64_t
+ticksToNs(uint64_t ticks)
+{
+    static const uint64_t q32 = calibrateNsPerTickQ32();
+    using u128 = unsigned __int128;
+    return uint64_t((u128(ticks) * q32) >> 32);
+}
+
 #if MNEMOSYNE_OBS
 
 void
@@ -78,14 +114,18 @@ Histogram::recordAlways(uint64_t v)
 {
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
-    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    const size_t idx = bucketIndex(v);
+    if (idx >= kBuckets)
+        overflow_.fetch_add(1, std::memory_order_relaxed);
+    else
+        buckets_[idx].fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t
 Histogram::quantile(double q) const
 {
     const auto buckets = bucketsSnapshot();
-    uint64_t total = 0;
+    uint64_t total = overflow_.load(std::memory_order_relaxed);
     for (uint64_t b : buckets)
         total += b;
     if (total == 0)
@@ -99,7 +139,7 @@ Histogram::quantile(double q) const
             return i >= 63 ? UINT64_MAX : (uint64_t(2) << i) - 1;
         }
     }
-    return UINT64_MAX;
+    return UINT64_MAX; // rank fell into the overflow bucket
 }
 
 std::array<uint64_t, Histogram::kBuckets>
@@ -116,6 +156,7 @@ Histogram::reset()
 {
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
+    overflow_.store(0, std::memory_order_relaxed);
     for (auto &b : buckets_)
         b.store(0, std::memory_order_relaxed);
 }

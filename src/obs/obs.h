@@ -65,6 +65,28 @@ inline size_t threadShard() { return threadOrdinal() % kMaxThreadShards; }
  *  latency measurement). */
 uint64_t nowNs();
 
+/**
+ * Cheap monotonic tick source for per-transaction timing: the raw TSC
+ * on x86-64 (one `rdtsc`, ~10 ns — less than half a clock_gettime), a
+ * nowNs() fallback elsewhere.  Convert accumulated tick deltas to
+ * nanoseconds with ticksToNs() at publish time, off the hot path.
+ */
+inline uint64_t
+tickNow()
+{
+#if defined(__x86_64__)
+    uint32_t lo, hi;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (uint64_t(hi) << 32) | lo;
+#else
+    return nowNs();
+#endif
+}
+
+/** Nanoseconds represented by @p ticks tick-deltas (calibrated once per
+ *  process on first use). */
+uint64_t ticksToNs(uint64_t ticks);
+
 #if MNEMOSYNE_OBS
 /** Runtime toggle: seeded from MNEMOSYNE_STATS, overridable. */
 inline bool
@@ -180,11 +202,18 @@ class Counter
  * latencies in nanoseconds; records are dropped while stats are
  * disabled.  Not sharded: histograms sit off the hot path (truncation
  * latency, recovery phases).
+ *
+ * The bucket array stops at 2^kBuckets (~3.2 days in ns): values at or
+ * beyond the top bucket are counted in an explicit overflow bucket
+ * (exposed as <key>.overflow in snapshots) instead of clamping
+ * silently, and quantiles that land there saturate to UINT64_MAX.
+ * Latencies that need tighter resolution than a power of two use
+ * HdrHistogram (hdr_histogram.h).
  */
 class Histogram
 {
   public:
-    static constexpr size_t kBuckets = 64;
+    static constexpr size_t kBuckets = 48;
 
     explicit Histogram(const char *key);
     ~Histogram();
@@ -218,7 +247,15 @@ class Histogram
     uint64_t count() const { return count_.load(std::memory_order_relaxed); }
     uint64_t total() const { return sum_.load(std::memory_order_relaxed); }
 
-    /** Approximate quantile (upper bound of the containing bucket). */
+    /** Records at or beyond bucketLowerBound(kBuckets). */
+    uint64_t
+    overflow() const
+    {
+        return overflow_.load(std::memory_order_relaxed);
+    }
+
+    /** Approximate quantile (upper bound of the containing bucket;
+     *  ranks in the overflow bucket saturate to UINT64_MAX). */
     uint64_t quantile(double q) const;
 
     std::array<uint64_t, kBuckets> bucketsSnapshot() const;
@@ -229,6 +266,7 @@ class Histogram
     const char *key_;
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> overflow_{0};
     std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
@@ -252,7 +290,7 @@ class Counter
 class Histogram
 {
   public:
-    static constexpr size_t kBuckets = 64;
+    static constexpr size_t kBuckets = 48;
     explicit Histogram(const char *key) : key_(key) {}
     void record(uint64_t) {}
     void recordAlways(uint64_t) {}
@@ -266,6 +304,7 @@ class Histogram
     }
     uint64_t count() const { return 0; }
     uint64_t total() const { return 0; }
+    uint64_t overflow() const { return 0; }
     uint64_t quantile(double) const { return 0; }
     std::array<uint64_t, kBuckets> bucketsSnapshot() const { return {}; }
     void reset() {}

@@ -76,6 +76,20 @@ StatsRegistry::remove(Histogram *h)
     std::erase(histograms_, h);
 }
 
+void
+StatsRegistry::add(HdrHistogram *h)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    hdrs_.push_back(h);
+}
+
+void
+StatsRegistry::remove(HdrHistogram *h)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    std::erase(hdrs_, h);
+}
+
 uint64_t
 StatsRegistry::addSource(Source fn)
 {
@@ -99,11 +113,13 @@ StatsRegistry::collect(Sink &sink) const
     // the registry lock held (a source may construct a counter).
     std::vector<Counter *> counters;
     std::vector<Histogram *> histograms;
+    std::vector<HdrHistogram *> hdrs;
     std::vector<Source> sources;
     {
         std::lock_guard<std::mutex> g(mu_);
         counters = counters_;
         histograms = histograms_;
+        hdrs = hdrs_;
         sources.reserve(sources_.size());
         for (const auto &[token, fn] : sources_) {
             (void)token;
@@ -127,9 +143,70 @@ StatsRegistry::collect(Sink &sink) const
         sink.emit(key + ".sum", h->total());
         sink.emit(key + ".p50", h->quantile(0.50));
         sink.emit(key + ".p99", h->quantile(0.99));
+        sink.emit(key + ".overflow", h->overflow());
+    }
+    for (const HdrHistogram *h : hdrs) {
+        const std::string key = h->key();
+        const HdrHistogram::Data d = h->data();
+        sink.emit(key + ".count", d.count);
+        sink.emit(key + ".sum", d.sum);
+        sink.emit(key + ".p50", d.quantile(0.50));
+        sink.emit(key + ".p90", d.quantile(0.90));
+        sink.emit(key + ".p95", d.quantile(0.95));
+        sink.emit(key + ".p99", d.quantile(0.99));
+        sink.emit(key + ".p999", d.quantile(0.999));
+        sink.emit(key + ".max", d.max);
+        sink.emit(key + ".overflow", d.overflow);
     }
     for (const Source &src : sources)
         src(sink);
+}
+
+StatsRegistry::RawSnapshot
+StatsRegistry::rawSnapshot() const
+{
+    RawSnapshot snap;
+    snap.when_ns = nowNs();
+
+    std::vector<Counter *> counters;
+    std::vector<Histogram *> histograms;
+    std::vector<HdrHistogram *> hdrs;
+    std::vector<Source> sources;
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        counters = counters_;
+        histograms = histograms_;
+        hdrs = hdrs_;
+        sources.reserve(sources_.size());
+        for (const auto &[token, fn] : sources_) {
+            (void)token;
+            sources.push_back(fn);
+        }
+    }
+
+    Sink sink;
+    for (const Counter *c : counters)
+        sink.emit(c->key(), c->value());
+    for (const Histogram *h : histograms) {
+        const std::string key = h->key();
+        sink.emit(key + ".count", h->count());
+        sink.emit(key + ".sum", h->total());
+        sink.emit(key + ".overflow", h->overflow());
+    }
+    for (const Source &src : sources)
+        src(sink);
+    snap.scalars = std::move(sink.scalars_);
+
+    // HdrHistograms keep their full bucket arrays (summed per key) so
+    // snapshot differences yield exact interval percentiles.
+    for (const HdrHistogram *h : hdrs) {
+        auto [it, fresh] = snap.hdrs.try_emplace(h->key());
+        if (fresh)
+            it->second = h->data();
+        else
+            it->second.merge(h->data());
+    }
+    return snap;
 }
 
 namespace {
@@ -226,14 +303,18 @@ StatsRegistry::resetAll()
 {
     std::vector<Counter *> counters;
     std::vector<Histogram *> histograms;
+    std::vector<HdrHistogram *> hdrs;
     {
         std::lock_guard<std::mutex> g(mu_);
         counters = counters_;
         histograms = histograms_;
+        hdrs = hdrs_;
     }
     for (Counter *c : counters)
         c->reset();
     for (Histogram *h : histograms)
+        h->reset();
+    for (HdrHistogram *h : hdrs)
         h->reset();
 }
 

@@ -19,9 +19,15 @@
  *
  *   {"mtm.commits":12,"mtm.commits.per_thread":[8,4],"scm.fences":31,...}
  *
- * Histograms expand to <key>.count/.sum/.p50/.p99.  Counters created
- * with per-thread breakdown add "<key>.per_thread" arrays (indexed by
- * thread ordinal mod kMaxThreadShards, trailing zeros trimmed).
+ * Log2 Histograms expand to <key>.count/.sum/.p50/.p99/.overflow;
+ * HdrHistograms to <key>.count/.sum/.p50/.p90/.p95/.p99/.p999/.max/
+ * .overflow.  Counters created with per-thread breakdown add
+ * "<key>.per_thread" arrays (indexed by thread ordinal mod
+ * kMaxThreadShards, trailing zeros trimmed).
+ *
+ * rawSnapshot() is the diffable form: counter/source scalars plus full
+ * HdrHistogram bucket arrays, so two captures subtract into *interval*
+ * stats with exact interval percentiles (obs::Phase builds on it).
  */
 
 #ifndef MNEMOSYNE_OBS_STATS_REGISTRY_H_
@@ -34,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 
 namespace mnemosyne::obs {
@@ -76,6 +83,20 @@ class StatsRegistry
     /** Human-readable "key  value" lines, sorted. */
     std::string textSnapshot() const;
 
+    /**
+     * Diffable snapshot: raw scalar values (counters, log2 histogram
+     * count/sum/overflow, source gauges) plus full HdrHistogram bucket
+     * arrays summed by key.  Two RawSnapshots subtract bucket-wise, so
+     * an interval's percentiles are exact — percentiles of endpoint
+     * snapshots do not diff, bucket counts do.
+     */
+    struct RawSnapshot {
+        uint64_t when_ns = 0;
+        std::map<std::string, Sink::Value> scalars;
+        std::map<std::string, HdrHistogram::Data> hdrs;
+    };
+    RawSnapshot rawSnapshot() const;
+
     /** Reset every registered counter and histogram (sources keep their
      *  own state). */
     void resetAll();
@@ -85,6 +106,8 @@ class StatsRegistry
     void remove(Counter *c);
     void add(Histogram *h);
     void remove(Histogram *h);
+    void add(HdrHistogram *h);
+    void remove(HdrHistogram *h);
 
   private:
     StatsRegistry() = default;
@@ -94,6 +117,7 @@ class StatsRegistry
     mutable std::mutex mu_;
     std::vector<Counter *> counters_;
     std::vector<Histogram *> histograms_;
+    std::vector<HdrHistogram *> hdrs_;
     std::map<uint64_t, Source> sources_;
     uint64_t nextToken_ = 1;
 };

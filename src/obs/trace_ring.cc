@@ -157,11 +157,41 @@ TraceRing::snapshot() const
 }
 
 void
+TraceRing::setThreadName(const std::string &name)
+{
+    std::lock_guard<std::mutex> g(namesMu_);
+    threadNames_[uint32_t(threadOrdinal())] = name;
+}
+
+std::map<uint32_t, std::string>
+TraceRing::threadNames() const
+{
+    std::lock_guard<std::mutex> g(namesMu_);
+    return threadNames_;
+}
+
+void
 TraceRing::exportChromeJson(std::ostream &os) const
 {
     const auto events = snapshot();
     os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
     bool first = true;
+
+    // Metadata records first: the process name, then one thread_name
+    // per thread that either registered a name or recorded an event.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"mnemosyne\"}}";
+    first = false;
+    std::map<uint32_t, std::string> names = threadNames();
+    for (const TraceRecord &r : events) {
+        if (!names.count(r.tid))
+            names[r.tid] = "thread " + std::to_string(r.tid);
+    }
+    for (const auto &[tid, name] : names) {
+        os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << tid << ",\"args\":{\"name\":\"" << name << "\"}}";
+    }
+
     for (const TraceRecord &r : events) {
         if (!first)
             os << ",";

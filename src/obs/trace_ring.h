@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -130,7 +131,16 @@ class TraceRing
 
     void clear();
 
-    /** Chrome trace-event JSON ({"traceEvents":[...]}). */
+    /** Label the calling thread in trace exports ("worker-3",
+     *  "async-trunc"); emitted as Chrome "M"-phase thread_name
+     *  metadata.  Unnamed threads export as "thread <ordinal>". */
+    void setThreadName(const std::string &name);
+
+    /** Registered names by thread ordinal. */
+    std::map<uint32_t, std::string> threadNames() const;
+
+    /** Chrome trace-event JSON ({"traceEvents":[...]}), led by
+     *  process_name / thread_name metadata records. */
     void exportChromeJson(std::ostream &os) const;
     bool exportChromeJsonFile(const std::string &path) const;
 
@@ -142,7 +152,20 @@ class TraceRing
     std::vector<TraceRecord> ring_;
     uint64_t mask_ = 0;
     mutable std::mutex resizeMu_;
+    mutable std::mutex namesMu_;
+    std::map<uint32_t, std::string> threadNames_;
 };
+
+/** Convenience: name the calling thread for trace/flight exports. */
+inline void
+setCurrentThreadName(const std::string &name)
+{
+#if MNEMOSYNE_OBS
+    TraceRing::instance().setThreadName(name);
+#else
+    (void)name;
+#endif
+}
 
 } // namespace mnemosyne::obs
 

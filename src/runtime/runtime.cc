@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/emitter.h"
 #include "obs/stats_registry.h"
 #include "obs/trace_ring.h"
 
@@ -99,6 +100,11 @@ Runtime::Runtime(RuntimeConfig cfg) : id_(nextRuntimeId()), cfg_(cfg)
             sink.emit("reinc.reclaimed_allocs",
                       uint64_t(reinc_.reclaimed_allocs));
         });
+
+    // Live export: start the stats emitter when MNEMOSYNE_STATS_PORT is
+    // set (or in SIGUSR2 dump-only mode when stats are on).  Idempotent
+    // across Runtime incarnations; the emitter thread is process-global.
+    obs::StatsEmitter::maybeStartFromEnv();
 
     gRuntime.store(this, std::memory_order_release);
 }

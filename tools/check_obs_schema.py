@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Validate a live stats snapshot against tools/obs_schema.json.
+
+Usage: check_obs_schema.py <schema.json> <snapshot.json>
+
+The snapshot is what `mn_stat --json --port N stats` prints: one flat
+JSON object mapping stat keys to numbers.  The schema (stdlib-only; no
+jsonschema dependency) asserts:
+
+  - the snapshot parses as a single JSON object,
+  - every value is a finite number (or, for the *.per_thread breakdown
+    keys, an array of finite numbers),
+  - every key matches `key_pattern`,
+  - every key in `required_keys` is present,
+  - at least one key exists under each of `required_prefixes` (layer
+    liveness: the layer registered and exported something).
+
+Exit status 0 on success; 1 with one line per violation otherwise.
+"""
+
+import json
+import math
+import re
+import sys
+
+
+def fail(msgs):
+    for m in msgs:
+        print(f"obs-schema: FAIL: {m}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    with open(sys.argv[2]) as f:
+        text = f.read().strip()
+
+    errors = []
+    try:
+        snap = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail([f"snapshot is not valid JSON: {e}"])
+    if not isinstance(snap, dict):
+        fail([f"snapshot is a {type(snap).__name__}, expected an object"])
+
+    def is_number(v):
+        return (isinstance(v, (int, float)) and not isinstance(v, bool)
+                and (not isinstance(v, float) or math.isfinite(v)))
+
+    pattern = re.compile(schema.get("key_pattern", r".*"))
+    for key, value in snap.items():
+        if isinstance(value, list):
+            if not all(is_number(v) for v in value):
+                errors.append(f"array value of {key!r} has a non-numeric "
+                              f"element")
+        elif not is_number(value):
+            errors.append(f"value of {key!r} is not a finite number: "
+                          f"{value!r}")
+        if not pattern.fullmatch(key):
+            errors.append(f"key {key!r} does not match key_pattern")
+
+    for key in schema.get("required_keys", []):
+        if key not in snap:
+            errors.append(f"required key {key!r} missing from snapshot")
+
+    for prefix in schema.get("required_prefixes", []):
+        if not any(k.startswith(prefix) for k in snap):
+            errors.append(f"no keys under required prefix {prefix!r} "
+                          f"(layer not exporting?)")
+
+    if errors:
+        fail(errors)
+    print(f"obs-schema: OK ({len(snap)} keys, "
+          f"{len(schema.get('required_keys', []))} required present)")
+
+
+if __name__ == "__main__":
+    main()
