@@ -1,0 +1,340 @@
+#include "conform/harness.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "crash/crash_harness.h"
+#include "crash/sweep.h"
+
+namespace mnemosyne::conform {
+
+std::string
+formatSpec(const ConformSpec &spec)
+{
+    std::ostringstream os;
+    os << spec.program << ":" << spec.event << ":"
+       << crash::modeName(spec.mode) << ":" << spec.seed;
+    return os.str();
+}
+
+bool
+parseSpec(const std::string &s, ConformSpec *out)
+{
+    // program:event:mode:seed — program names contain no ':'.
+    std::vector<std::string> parts;
+    size_t from = 0;
+    for (;;) {
+        const size_t colon = s.find(':', from);
+        if (colon == std::string::npos) {
+            parts.push_back(s.substr(from));
+            break;
+        }
+        parts.push_back(s.substr(from, colon - from));
+        from = colon + 1;
+    }
+    if (parts.size() != 4 || parts[0].empty())
+        return false;
+    ConformSpec spec;
+    spec.program = parts[0];
+    char *end = nullptr;
+    spec.event = std::strtoull(parts[1].c_str(), &end, 10);
+    if (!end || *end != '\0' || parts[1].empty())
+        return false;
+    if (!crash::modeFromName(parts[2], &spec.mode))
+        return false;
+    spec.seed = std::strtoull(parts[3].c_str(), &end, 10);
+    if (!end || *end != '\0' || parts[3].empty())
+        return false;
+    *out = spec;
+    return true;
+}
+
+double
+ConformReport::coverage() const
+{
+    return allowed_states
+               ? double(witnessed_states) / double(allowed_states)
+               : 0.0;
+}
+
+std::vector<std::string>
+ConformReport::reproSpecs() const
+{
+    std::vector<std::string> out;
+    out.reserve(failures.size());
+    for (const auto &v : failures)
+        out.push_back(formatSpec(v.spec));
+    return out;
+}
+
+/**
+ * The litmus thread-1 executor: one persistent helper thread running
+ * submitted closures synchronously.  Persistent (rather than
+ * thread-per-trial) because an exhaustive run replays hundreds of
+ * thousands of trials; per-thread emulator state is keyed by
+ * std::thread::id, so a stable helper also keeps per-trial contexts
+ * down to exactly two registered threads.
+ */
+struct Harness::Exec {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::function<void()> job;
+    bool pending = false;
+    bool done = false;
+    bool stop = false;
+    std::thread th;
+
+    Exec() : th([this] { loop(); }) {}
+
+    ~Exec()
+    {
+        {
+            std::lock_guard<std::mutex> g(mu);
+            stop = true;
+        }
+        cv.notify_all();
+        th.join();
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> l(mu);
+        for (;;) {
+            cv.wait(l, [&] { return pending || stop; });
+            if (stop && !pending)
+                return;
+            std::function<void()> j = std::move(job);
+            pending = false;
+            l.unlock();
+            j();
+            l.lock();
+            done = true;
+            cv.notify_all();
+        }
+    }
+
+    /** Run @p fn on the helper thread; returns after it completes. */
+    void
+    run(std::function<void()> fn)
+    {
+        std::unique_lock<std::mutex> l(mu);
+        job = std::move(fn);
+        pending = true;
+        done = false;
+        cv.notify_all();
+        cv.wait(l, [&] { return done; });
+    }
+};
+
+namespace {
+
+/** The litmus arena: kLines real cache lines, so the emulator's line
+ *  math sees exactly the geometry the oracle models. */
+struct alignas(scm::kCacheLineSize) Arena {
+    std::array<uint64_t, size_t(kArenaWords)> w{};
+};
+
+void
+applyOp(scm::ScmContext &c, const Op &op, uint64_t *arena)
+{
+    uint64_t *addr =
+        arena + size_t(op.line) * kWordsPerLine + size_t(op.word);
+    switch (op.kind) {
+      case OpKind::kStore:
+        c.store(addr, &op.value, sizeof(op.value));
+        break;
+      case OpKind::kWtStore:
+        c.wtstore(addr, &op.value, sizeof(op.value));
+        break;
+      case OpKind::kFlush:
+        c.flush(addr);
+        break;
+      case OpKind::kFlushOpt:
+        c.flushopt(addr);
+        break;
+      case OpKind::kFence:
+        c.fence();
+        break;
+    }
+}
+
+} // namespace
+
+Harness::Harness(HarnessOptions opts)
+    : opts_(std::move(opts)), exec_(std::make_unique<Exec>())
+{
+    if (opts_.random_seeds == 0)
+        opts_.random_seeds = 1;
+}
+
+Harness::~Harness() = default;
+
+MemState
+Harness::replay(const Program &p, uint64_t event,
+                scm::CrashPersistMode mode, uint64_t seed, bool *crashed)
+{
+    scm::ScmConfig cfg;
+    cfg.latency_mode = scm::LatencyMode::kNone;
+    cfg.crash_mode = mode;
+    cfg.crash_seed = seed;
+    cfg.conform_bug = opts_.conform_bug;
+    scm::ScmContext c(cfg);
+
+    Arena arena;    // zero-initialized: the pristine SCM image
+    bool fired = false;
+    {
+        // No crash point for the run-to-completion trial (event beyond
+        // the last op): every op executes, then power is lost.
+        std::optional<crash::CrashPoint> cp;
+        if (event <= p.ops.size())
+            cp.emplace(c, event);
+        for (const Op &op : p.ops) {
+            bool opCrashed = false;
+            auto body = [&] {
+                try {
+                    applyOp(c, op, arena.w.data());
+                } catch (const scm::CrashNow &) {
+                    opCrashed = true;
+                }
+            };
+            if (op.thread == 0)
+                body();
+            else
+                exec_->run(body);
+            if (opCrashed) {
+                fired = true;
+                break;
+            }
+        }
+    }   // CrashPoint detaches its hook before the image is computed.
+    c.crash();
+
+    if (crashed)
+        *crashed = fired;
+    MemState m{};
+    std::copy(arena.w.begin(), arena.w.end(), m.begin());
+    return m;
+}
+
+void
+Harness::judge(const Program &p, const OracleResult &oracle,
+               const ConformSpec &spec, const MemState &got,
+               std::string *detail) const
+{
+    (void)p;
+    std::ostringstream os;
+    switch (spec.mode) {
+      case scm::CrashPersistMode::kDropUnfenced:
+        if (got != oracle.strict)
+            os << "kDropUnfenced image differs from the strict durable "
+                  "state: got [" << formatMemState(got) << "] want ["
+               << formatMemState(oracle.strict) << "]";
+        break;
+      case scm::CrashPersistMode::kKeepAll:
+        if (got != oracle.full)
+            os << "kKeepAll image differs from the full write image: "
+                  "got [" << formatMemState(got) << "] want ["
+               << formatMemState(oracle.full) << "]";
+        break;
+      case scm::CrashPersistMode::kKeepIssued:
+      case scm::CrashPersistMode::kRandomSubset:
+        if (!oracle.allowed.count(got))
+            os << crash::modeName(spec.mode) << " image ["
+               << formatMemState(got) << "] is outside the Px86-allowed "
+                  "set (" << oracle.allowed.size() << " states)";
+        break;
+    }
+    *detail = os.str();
+}
+
+ProgramReport
+Harness::checkProgram(const Program &p)
+{
+    ProgramReport r;
+    r.name = p.name;
+    r.family = p.family;
+    const uint64_t len = p.ops.size();
+    for (uint64_t ev = 1; ev <= len + 1; ++ev) {
+        const size_t prefix = size_t(std::min<uint64_t>(ev - 1, len));
+        const OracleResult oracle = computeAllowed(p, prefix);
+        std::set<MemState> witnessed;
+        for (scm::CrashPersistMode mode : opts_.modes) {
+            const bool rand =
+                mode == scm::CrashPersistMode::kRandomSubset;
+            const uint64_t seeds = rand ? opts_.random_seeds : 1;
+            for (uint64_t seed = 0; seed < seeds; ++seed) {
+                ConformSpec spec{p.name, ev, mode, seed};
+                const MemState got =
+                    replay(p, ev, mode, seed, nullptr);
+                ++r.trials;
+                std::string detail;
+                judge(p, oracle, spec, got, &detail);
+                if (!detail.empty())
+                    r.violations.push_back({spec, std::move(detail)});
+                else if (rand)
+                    witnessed.insert(got);
+            }
+        }
+        r.allowed_states += oracle.allowed.size();
+        r.witnessed_states += witnessed.size();
+    }
+    return r;
+}
+
+ConformReport
+Harness::checkAll(const std::vector<Program> &programs)
+{
+    ConformReport rep;
+    for (const Program &p : programs) {
+        ProgramReport r = checkProgram(p);
+        ++rep.programs;
+        rep.trials += r.trials;
+        rep.violations += r.violations.size();
+        rep.allowed_states += r.allowed_states;
+        rep.witnessed_states += r.witnessed_states;
+        FamilyStats &f = rep.families[r.family];
+        ++f.programs;
+        f.trials += r.trials;
+        f.allowed_states += r.allowed_states;
+        f.witnessed_states += r.witnessed_states;
+        f.violations += r.violations.size();
+        for (auto &v : r.violations)
+            rep.failures.push_back(std::move(v));
+    }
+    return rep;
+}
+
+Harness::TrialResult
+Harness::runTrial(const ConformSpec &spec)
+{
+    TrialResult res;
+    res.spec = spec;
+    Program p;
+    if (!findProgram(spec.program, opts_.gen, &p)) {
+        res.detail = "unknown program '" + spec.program + "'";
+        return res;
+    }
+    const uint64_t len = p.ops.size();
+    if (spec.event < 1 || spec.event > len + 1) {
+        std::ostringstream os;
+        os << "event " << spec.event << " out of range 1.." << len + 1
+           << " for '" << p.name << "'";
+        res.detail = os.str();
+        return res;
+    }
+    const size_t prefix = size_t(std::min<uint64_t>(spec.event - 1, len));
+    const OracleResult oracle = computeAllowed(p, prefix);
+    res.state = replay(p, spec.event, spec.mode, spec.seed, &res.crashed);
+    judge(p, oracle, spec, res.state, &res.detail);
+    res.ok = res.detail.empty();
+    return res;
+}
+
+} // namespace mnemosyne::conform

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Px86 conformance harness: replays litmus programs through the SCM
+ * emulator, crashes at every persistence event under every crash
+ * persistence mode, and checks the emulator's post-crash image against
+ * the oracle's allowed set.
+ *
+ * Expectations per mode:
+ *
+ *  - kDropUnfenced: the image must equal the oracle's strict state
+ *    (guaranteed writes only) — exact, not just ⊆ allowed.
+ *  - kKeepAll: the image must equal the oracle's full state.
+ *  - kKeepIssued: the image must be within the allowed set.
+ *  - kRandomSubset: the image for every seed must be within the
+ *    allowed set; distinct images are counted as witnessed states, so
+ *    reports can show how much of the allowed envelope the adversarial
+ *    mode actually explores.
+ *
+ * Every trial is deterministic and is identified by a repro spec
+ * "program:event:mode:seed" (mode names shared with the crash sweeper:
+ * drop/keep/all/rand).  event is 1-based: crash fires *before* op
+ * `event` takes effect (ops are numbered 1..len; each op is exactly
+ * one persistence event); event = len+1 means run to completion and
+ * then lose power.  Thread-1 ops execute on a dedicated helper thread
+ * because the emulator's flush claims and fences are per-thread.
+ */
+
+#ifndef MNEMOSYNE_CONFORM_HARNESS_H_
+#define MNEMOSYNE_CONFORM_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "conform/litmus.h"
+#include "conform/oracle.h"
+#include "scm/scm.h"
+
+namespace mnemosyne::conform {
+
+/** One point in the conformance trial space. */
+struct ConformSpec {
+    std::string program;    ///< Curated name or gen<i>.
+    uint64_t event = 1;     ///< 1..len: crash before op; len+1: completion.
+    scm::CrashPersistMode mode = scm::CrashPersistMode::kDropUnfenced;
+    uint64_t seed = 0;      ///< kRandomSubset survival seed.
+};
+
+/** "program:event:mode:seed", mode names shared with crash::SweepSpec. */
+std::string formatSpec(const ConformSpec &spec);
+bool parseSpec(const std::string &s, ConformSpec *out);
+
+struct HarnessOptions {
+    /** Modes checked per crash point. */
+    std::vector<scm::CrashPersistMode> modes{
+        scm::CrashPersistMode::kDropUnfenced,
+        scm::CrashPersistMode::kKeepIssued,
+        scm::CrashPersistMode::kKeepAll,
+        scm::CrashPersistMode::kRandomSubset,
+    };
+
+    /** Seeds checked per crash point under kRandomSubset. */
+    uint64_t random_seeds = 8;
+
+    /** Run the emulator with the MN_CONFORM_BUG canary enabled (the
+     *  harness expectations are unchanged — a correct harness must then
+     *  report violations). */
+    bool conform_bug = false;
+
+    /** Generator bounds used to resolve gen<i> names in runTrial(). */
+    GenConfig gen;
+};
+
+/** One conformance failure, with its deterministic repro spec. */
+struct Violation {
+    ConformSpec spec;
+    std::string detail;
+};
+
+struct ProgramReport {
+    std::string name, family;
+    uint64_t trials = 0;
+    uint64_t allowed_states = 0;    ///< Sum of |allowed| over events.
+    uint64_t witnessed_states = 0;  ///< Distinct rand images, summed.
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** Coverage aggregate per litmus family (--coverage report). */
+struct FamilyStats {
+    uint64_t programs = 0;
+    uint64_t trials = 0;
+    uint64_t allowed_states = 0;
+    uint64_t witnessed_states = 0;
+    uint64_t violations = 0;
+};
+
+struct ConformReport {
+    uint64_t programs = 0;
+    uint64_t trials = 0;
+    uint64_t violations = 0;
+    uint64_t allowed_states = 0;
+    uint64_t witnessed_states = 0;
+    std::map<std::string, FamilyStats> families;
+    std::vector<Violation> failures;
+
+    bool ok() const { return violations == 0; }
+
+    /** Witnessed / allowed over kRandomSubset trials (0 when rand was
+     *  not among the checked modes). */
+    double coverage() const;
+
+    /** One repro spec line per failure. */
+    std::vector<std::string> reproSpecs() const;
+};
+
+class Harness
+{
+  public:
+    explicit Harness(HarnessOptions opts = {});
+    ~Harness();
+
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+    /** Check one program across every event x mode x seed. */
+    ProgramReport checkProgram(const Program &p);
+
+    /** Check many programs; aggregates trials, failures, coverage. */
+    ConformReport checkAll(const std::vector<Program> &programs);
+
+    /** Outcome of one replayed trial (the --repro path). */
+    struct TrialResult {
+        ConformSpec spec;
+        bool ok = false;
+        bool crashed = false;   ///< The injected crash point fired.
+        MemState state{};       ///< Post-crash emulator image.
+        std::string detail;     ///< Violation / error diagnostic.
+    };
+
+    /** Replay one spec deterministically and judge it. */
+    TrialResult runTrial(const ConformSpec &spec);
+
+    /**
+     * Raw replay: execute @p p with a crash at @p event under
+     * mode/seed, return the post-crash image.  Deterministic —
+     * byte-identical across invocations for the same inputs.
+     */
+    MemState replay(const Program &p, uint64_t event,
+                    scm::CrashPersistMode mode, uint64_t seed,
+                    bool *crashed = nullptr);
+
+    const HarnessOptions &options() const { return opts_; }
+
+  private:
+    struct Exec;    ///< Persistent helper thread for litmus thread 1.
+
+    void judge(const Program &p, const OracleResult &oracle,
+               const ConformSpec &spec, const MemState &got,
+               std::string *detail) const;
+
+    HarnessOptions opts_;
+    std::unique_ptr<Exec> exec_;
+};
+
+} // namespace mnemosyne::conform
+
+#endif // MNEMOSYNE_CONFORM_HARNESS_H_

@@ -1,0 +1,271 @@
+#include "conform/litmus.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace mnemosyne::conform {
+
+namespace {
+
+Op st(uint8_t t, uint8_t l, uint8_t w) { return {OpKind::kStore, t, l, w, 0}; }
+Op wt(uint8_t t, uint8_t l, uint8_t w) { return {OpKind::kWtStore, t, l, w, 0}; }
+Op fl(uint8_t t, uint8_t l) { return {OpKind::kFlush, t, l, 0, 0}; }
+Op flo(uint8_t t, uint8_t l) { return {OpKind::kFlushOpt, t, l, 0, 0}; }
+Op fen(uint8_t t) { return {OpKind::kFence, t, 0, 0, 0}; }
+
+/** Give every store a distinct nonzero value: op position + 1. */
+void
+assignValues(Program &p)
+{
+    for (size_t i = 0; i < p.ops.size(); ++i) {
+        Op &op = p.ops[i];
+        if (op.kind == OpKind::kStore || op.kind == OpKind::kWtStore)
+            op.value = uint64_t(i) + 1;
+    }
+}
+
+Program
+make(std::string name, std::string family, std::vector<Op> ops)
+{
+    Program p;
+    p.name = std::move(name);
+    p.family = std::move(family);
+    p.ops = std::move(ops);
+    assignValues(p);
+    return p;
+}
+
+/**
+ * The generator's op alphabet: a fixed, order-stable list of
+ * (kind, line, word) shapes.  Two words on line 0 (same-line FIFO and
+ * same-word ordering), one on line 1 (cross-line independence), a
+ * streamed write per line (WC weak order), both flush flavors on
+ * line 0, a flush on line 1, and a fence.  Growing this list reorders
+ * gen<i> names — append only.
+ */
+struct Shape {
+    OpKind kind;
+    uint8_t line, word;
+};
+
+constexpr std::array<Shape, 9> kAlphabet{{
+    {OpKind::kStore, 0, 0},
+    {OpKind::kStore, 0, 1},
+    {OpKind::kStore, 1, 0},
+    {OpKind::kWtStore, 0, 0},
+    {OpKind::kWtStore, 1, 0},
+    {OpKind::kFlush, 0, 0},
+    {OpKind::kFlush, 1, 0},
+    {OpKind::kFlushOpt, 0, 0},
+    {OpKind::kFence, 0, 0},
+}};
+
+bool
+hasWrite(const Program &p)
+{
+    for (const Op &op : p.ops)
+        if (op.kind == OpKind::kStore || op.kind == OpKind::kWtStore)
+            return true;
+    return false;
+}
+
+/**
+ * Enumerate programs in the stable order, invoking @p emit for each
+ * (index, program) that contains at least one write.  Returns false
+ * when emit stops the walk.
+ */
+template <typename Emit>
+void
+enumerate(const GenConfig &cfg, Emit &&emit)
+{
+    const size_t symbols = kAlphabet.size() * (cfg.two_threads ? 2 : 1);
+    size_t index = 0;
+    std::vector<size_t> digits;
+    for (int len = 1; len <= cfg.max_ops; ++len) {
+        digits.assign(size_t(len), 0);
+        for (;;) {
+            Program p;
+            p.family = "gen";
+            p.ops.reserve(size_t(len));
+            for (size_t d : digits) {
+                const Shape &s = kAlphabet[d % kAlphabet.size()];
+                Op op{s.kind, uint8_t(d / kAlphabet.size()), s.line,
+                      s.word, 0};
+                p.ops.push_back(op);
+            }
+            if (hasWrite(p)) {
+                p.name = "gen" + std::to_string(index);
+                assignValues(p);
+                if (!emit(index, std::move(p)))
+                    return;
+                ++index;
+            }
+            // Next base-`symbols` number of `len` digits.
+            int pos = len - 1;
+            while (pos >= 0 && ++digits[size_t(pos)] == symbols) {
+                digits[size_t(pos)] = 0;
+                --pos;
+            }
+            if (pos < 0)
+                break;
+        }
+    }
+}
+
+} // namespace
+
+int
+Program::threads() const
+{
+    for (const Op &op : ops)
+        if (op.thread == 1)
+            return 2;
+    return 1;
+}
+
+std::string
+formatOp(const Op &op)
+{
+    char buf[64];
+    switch (op.kind) {
+      case OpKind::kStore:
+        std::snprintf(buf, sizeof buf, "t%u:store L%u.W%u=%llu",
+                      op.thread, op.line, op.word,
+                      (unsigned long long)op.value);
+        break;
+      case OpKind::kWtStore:
+        std::snprintf(buf, sizeof buf, "t%u:wtstore L%u.W%u=%llu",
+                      op.thread, op.line, op.word,
+                      (unsigned long long)op.value);
+        break;
+      case OpKind::kFlush:
+        std::snprintf(buf, sizeof buf, "t%u:flush L%u", op.thread, op.line);
+        break;
+      case OpKind::kFlushOpt:
+        std::snprintf(buf, sizeof buf, "t%u:flushopt L%u", op.thread,
+                      op.line);
+        break;
+      case OpKind::kFence:
+        std::snprintf(buf, sizeof buf, "t%u:fence", op.thread);
+        break;
+    }
+    return buf;
+}
+
+std::string
+formatProgram(const Program &p)
+{
+    std::ostringstream os;
+    os << p.name << " (" << p.family << "), " << p.ops.size() << " ops\n";
+    for (size_t i = 0; i < p.ops.size(); ++i)
+        os << "  " << i + 1 << ". " << formatOp(p.ops[i]) << "\n";
+    return os.str();
+}
+
+std::vector<Program>
+curatedPrograms()
+{
+    std::vector<Program> v;
+
+    // The one-sided durability rules: what a fence does and does not
+    // retire (Px86 DFLUSH/DFENCE).
+    v.push_back(make("store_flush_fence", "flush_fence",
+                     {st(0, 0, 0), fl(0, 0), fen(0)}));
+    v.push_back(make("store_flush_no_fence", "flush_fence",
+                     {st(0, 0, 0), fl(0, 0)}));
+    v.push_back(make("store_fence_no_flush", "flush_fence",
+                     {st(0, 0, 0), fen(0)}));
+    v.push_back(make("flushopt_fence", "flush_fence",
+                     {st(0, 0, 0), flo(0, 0), fen(0)}));
+    v.push_back(make("flush_before_fence", "flush_fence",
+                     {st(0, 0, 0), fl(0, 0), fen(0), st(0, 0, 1)}));
+    v.push_back(make("flush_claims_prefix", "flush_fence",
+                     {st(0, 0, 0), fl(0, 0), st(0, 0, 1), fen(0)}));
+
+    // Streamed writes: durable after the issuer's fence, weakly
+    // ordered before it (write-combining buffers drain in any chunk
+    // order, exempt from the per-line FIFO).
+    v.push_back(make("wtstore_fence", "wc",
+                     {wt(0, 0, 0), fen(0)}));
+    v.push_back(make("wtstore_no_fence", "wc",
+                     {wt(0, 0, 0)}));
+    v.push_back(make("wt_same_line_weak_order", "wc",
+                     {wt(0, 0, 0), wt(0, 0, 1)}));
+    v.push_back(make("wt_then_store_same_word", "wc",
+                     {wt(0, 0, 0), st(0, 0, 0)}));
+
+    // Same-line FIFO vs cross-line independence for cacheable stores.
+    v.push_back(make("same_line_prefix", "line_fifo",
+                     {st(0, 0, 0), st(0, 0, 1)}));
+    v.push_back(make("same_word_order", "line_fifo",
+                     {st(0, 0, 0), st(0, 0, 0)}));
+    v.push_back(make("cross_line_no_order", "line_fifo",
+                     {st(0, 0, 0), st(0, 1, 0)}));
+    v.push_back(make("line_fifo_three_deep", "line_fifo",
+                     {st(0, 0, 0), st(0, 0, 1), st(0, 0, 2)}));
+
+    // A retired (durable) overwrite supersedes a still-pending older
+    // write to the same word: the post-crash value must be the durable
+    // one, never the pending write's pre-image.
+    v.push_back(make("retired_overwrite", "supersede",
+                     {st(0, 0, 0), wt(0, 0, 0), fen(0)}));
+    v.push_back(make("retired_overwrite_cross_thread", "supersede",
+                     {wt(1, 0, 0), wt(0, 0, 0), fen(0)}));
+
+    // Cross-thread flush claims: clflush acts on the coherent cache,
+    // and the durability edge belongs to whoever flushed + fenced.
+    v.push_back(make("cross_thread_flush_fence", "cross_thread",
+                     {st(0, 0, 0), fl(1, 0), fen(1)}));
+    v.push_back(make("cross_thread_flush_wrong_fence", "cross_thread",
+                     {st(0, 0, 0), fl(1, 0), fen(0)}));
+    v.push_back(make("double_flush_either_fence", "cross_thread",
+                     {st(0, 0, 0), fl(0, 0), fl(1, 0), fen(1)}));
+    v.push_back(make("fence_is_per_thread_wc", "cross_thread",
+                     {wt(0, 0, 0), wt(1, 0, 1), fen(0)}));
+
+    return v;
+}
+
+std::vector<Program>
+generatePrograms(const GenConfig &cfg)
+{
+    std::vector<Program> v;
+    enumerate(cfg, [&](size_t, Program p) {
+        v.push_back(std::move(p));
+        return cfg.max_programs == 0 || v.size() < cfg.max_programs;
+    });
+    return v;
+}
+
+bool
+findProgram(const std::string &name, const GenConfig &cfg, Program *out)
+{
+    for (Program &p : curatedPrograms()) {
+        if (p.name == name) {
+            *out = std::move(p);
+            return true;
+        }
+    }
+    if (name.rfind("gen", 0) == 0) {
+        char *end = nullptr;
+        const unsigned long long want =
+            std::strtoull(name.c_str() + 3, &end, 10);
+        if (end && *end == '\0') {
+            bool found = false;
+            enumerate(cfg, [&](size_t index, Program p) {
+                if (index == want) {
+                    *out = std::move(p);
+                    found = true;
+                    return false;
+                }
+                return true;
+            });
+            return found;
+        }
+    }
+    return false;
+}
+
+} // namespace mnemosyne::conform

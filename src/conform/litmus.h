@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Litmus-test IR for the Px86 persistency conformance harness.
+ *
+ * A litmus program is a short, explicitly interleaved sequence of
+ * persistence primitives — store / wtstore / flush / flushopt / fence —
+ * over a tiny arena of cache lines, issued by one or two threads.  The
+ * sequence *is* the x86-TSO memory order: the harness replays it
+ * op-by-op (hopping to a helper thread for thread-1 ops, because the
+ * emulator's fence/flush semantics are per-thread), so thread ids
+ * matter for durability rules while visibility order is fixed by
+ * construction.  That sidesteps store-buffer interleaving enumeration
+ * and isolates exactly what the SCM emulator models: which writes may
+ * survive a crash.
+ *
+ * Two sources of programs:
+ *
+ *  - curatedPrograms(): named tests encoding the ordering rules of
+ *    *Taming x86-TSO Persistency* (arXiv 2010.13593) — flush-before-
+ *    fence, same-line FIFO, write-combining weak order, cross-thread
+ *    flush claims, retired-overwrite supersession.
+ *
+ *  - generatePrograms(): deterministic exhaustive enumeration of every
+ *    program up to a bounded length over a fixed op alphabet.  The
+ *    enumeration order is stable, so "gen<index>" is a durable repro
+ *    name for a given GenConfig.
+ *
+ * Every store in a program writes a distinct nonzero value (its op
+ * position + 1), so any two persist outcomes are distinguishable in
+ * the post-crash image.
+ */
+
+#ifndef MNEMOSYNE_CONFORM_LITMUS_H_
+#define MNEMOSYNE_CONFORM_LITMUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnemosyne::conform {
+
+/** Arena geometry: programs address up to kLines cache lines of
+ *  kWordsPerLine aligned 8-byte words each. */
+inline constexpr int kLines = 4;
+inline constexpr int kWordsPerLine = 8;
+inline constexpr int kArenaWords = kLines * kWordsPerLine;
+
+/** Litmus op kinds, mirroring ScmContext's primitives. */
+enum class OpKind : uint8_t { kStore, kWtStore, kFlush, kFlushOpt, kFence };
+
+/** One primitive issued by one litmus thread. */
+struct Op {
+    OpKind kind = OpKind::kStore;
+    uint8_t thread = 0;     ///< Issuing litmus thread (0 or 1).
+    uint8_t line = 0;       ///< Target cache line (unused for fence).
+    uint8_t word = 0;       ///< Word within the line (stores only).
+    uint64_t value = 0;     ///< Stored value (stores only).
+};
+
+struct Program {
+    std::string name;       ///< Repro-stable id: curated name or gen<i>.
+    std::string family;     ///< Coverage-report grouping.
+    std::vector<Op> ops;
+
+    int threads() const;    ///< 1 or 2.
+};
+
+/** "t0:store L0.W1=3", "t1:flush L0", "t0:fence". */
+std::string formatOp(const Op &op);
+
+/** One line per op, plus the header "name (family), N ops". */
+std::string formatProgram(const Program &p);
+
+/** The named tests from the paper's ordering rules (single source of
+ *  truth for the tier-1 curated suite). */
+std::vector<Program> curatedPrograms();
+
+/** Bounds for the exhaustive generator. */
+struct GenConfig {
+    /** Maximum program length; enumeration covers every length from 1
+     *  to this bound. */
+    int max_ops = 3;
+
+    /** Enumerate 2-thread interleavings (true) or thread-0 only. */
+    bool two_threads = true;
+
+    /** Cap on generated programs (0 = no cap).  The enumeration order
+     *  is stable, so a cap keeps the gen<i> naming of the retained
+     *  prefix valid. */
+    size_t max_programs = 0;
+};
+
+/**
+ * Deterministically enumerate all programs with at least one write, in
+ * a fixed order: shorter programs first, then lexicographic over the
+ * op alphabet.  gen<i> names index into this sequence.
+ */
+std::vector<Program> generatePrograms(const GenConfig &cfg);
+
+/**
+ * Resolve a program by repro name: a curated name, or gen<i> under
+ * @p cfg (which must match the generating run's bounds for the index
+ * to mean the same program).  Returns false for unknown names.
+ */
+bool findProgram(const std::string &name, const GenConfig &cfg,
+                 Program *out);
+
+} // namespace mnemosyne::conform
+
+#endif // MNEMOSYNE_CONFORM_LITMUS_H_

@@ -1,0 +1,148 @@
+#include "conform/oracle.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mnemosyne::conform {
+
+namespace {
+
+/** One executed write with its durability bookkeeping. */
+struct Write {
+    int line, word;
+    uint64_t value;
+    bool streaming;
+    uint8_t thread;
+    bool guaranteed = false;  ///< Retired: in every allowed image.
+    uint8_t claims = 0;       ///< Threads whose flush claimed it (bitmask).
+};
+
+/** Safety valve for the outcome enumeration; bounded litmus programs
+ *  stay orders of magnitude below it. */
+constexpr uint64_t kMaxOutcomes = 1u << 20;
+
+/**
+ * Replay the prefix against the model: build the write list and mark
+ * which writes are guaranteed at the crash point.
+ */
+std::vector<Write>
+simulate(const Program &p, size_t prefix_len)
+{
+    std::vector<Write> ws;
+    for (size_t i = 0; i < prefix_len && i < p.ops.size(); ++i) {
+        const Op &op = p.ops[i];
+        switch (op.kind) {
+          case OpKind::kStore:
+          case OpKind::kWtStore:
+            ws.push_back({op.line, op.word, op.value,
+                          op.kind == OpKind::kWtStore, op.thread});
+            break;
+          case OpKind::kFlush:
+          case OpKind::kFlushOpt:
+            // A flush claims every pending cacheable write currently on
+            // the line for the flushing thread.  The claim is shared:
+            // later flushes by other threads add their bit.
+            for (Write &w : ws)
+                if (!w.streaming && !w.guaranteed && w.line == op.line)
+                    w.claims |= uint8_t(1u << op.thread);
+            break;
+          case OpKind::kFence:
+            // A fence guarantees the claims the fencing thread holds
+            // and the thread's own streamed writes.
+            for (Write &w : ws) {
+                if (w.guaranteed)
+                    continue;
+                if (w.streaming ? w.thread == op.thread
+                                : (w.claims >> op.thread) & 1)
+                    w.guaranteed = true;
+            }
+            break;
+        }
+    }
+    return ws;
+}
+
+MemState
+apply(const std::vector<Write> &ws, const std::vector<bool> &kept)
+{
+    MemState m{};
+    for (size_t i = 0; i < ws.size(); ++i)
+        if (ws[i].guaranteed || kept[i])
+            m[size_t(ws[i].line) * kWordsPerLine + size_t(ws[i].word)] =
+                ws[i].value;
+    return m;
+}
+
+} // namespace
+
+std::string
+formatMemState(const MemState &m)
+{
+    std::ostringstream os;
+    bool any = false;
+    for (int i = 0; i < kArenaWords; ++i) {
+        if (m[size_t(i)] == 0)
+            continue;
+        if (any)
+            os << " ";
+        os << "L" << i / kWordsPerLine << ".W" << i % kWordsPerLine << "="
+           << m[size_t(i)];
+        any = true;
+    }
+    return any ? os.str() : "(zero)";
+}
+
+OracleResult
+computeAllowed(const Program &p, size_t prefix_len)
+{
+    const std::vector<Write> ws = simulate(p, prefix_len);
+
+    // Free choices: for each line, where to cut its pending cacheable
+    // suffix (the guaranteed writes of a line are always a prefix of
+    // its write order, because claims cover everything pending at
+    // flush time); for each pending streamed write, keep or drop.
+    std::vector<std::vector<size_t>> linePend(kLines);
+    std::vector<size_t> wcPend;
+    for (size_t i = 0; i < ws.size(); ++i) {
+        if (ws[i].guaranteed)
+            continue;
+        if (ws[i].streaming)
+            wcPend.push_back(i);
+        else
+            linePend[size_t(ws[i].line)].push_back(i);
+    }
+
+    uint64_t total = 1;
+    for (const auto &pend : linePend)
+        total *= uint64_t(pend.size()) + 1;
+    total <<= wcPend.size();
+    if (total > kMaxOutcomes)
+        throw std::logic_error("conform oracle: outcome space too large");
+
+    OracleResult r;
+    std::vector<bool> kept(ws.size(), false);
+    for (uint64_t pick = 0; pick < total; ++pick) {
+        kept.assign(ws.size(), false);
+        uint64_t rest = pick;
+        for (const auto &pend : linePend) {
+            const uint64_t radix = uint64_t(pend.size()) + 1;
+            const uint64_t cut = rest % radix;
+            rest /= radix;
+            for (uint64_t k = 0; k < cut; ++k)
+                kept[pend[size_t(k)]] = true;
+        }
+        for (size_t k = 0; k < wcPend.size(); ++k)
+            if ((rest >> k) & 1)
+                kept[wcPend[k]] = true;
+        r.allowed.insert(apply(ws, kept));
+    }
+
+    kept.assign(ws.size(), false);
+    r.strict = apply(ws, kept);
+    kept.assign(ws.size(), true);
+    r.full = apply(ws, kept);
+    return r;
+}
+
+} // namespace mnemosyne::conform

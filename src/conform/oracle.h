@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Executable Px86 persistency oracle: the model side of the
+ * conformance harness.
+ *
+ * Given a litmus program prefix (the ops executed before a crash), the
+ * oracle computes the complete set of post-crash memory images the
+ * formal x86 persistency model of *Taming x86-TSO Persistency*
+ * (arXiv 2010.13593) allows, specialized to the emulator's abstraction
+ * level (DESIGN.md §5.2):
+ *
+ *  - Cacheable stores persist per cache line in FIFO order: a crash
+ *    cuts each line's write sequence at one point and the survivors of
+ *    the line are a prefix.
+ *  - Streamed (write-combining) stores are exempt from the line FIFO:
+ *    each aligned 8-byte chunk survives or not independently.  Litmus
+ *    stores are whole aligned words, so here chunk == write.
+ *  - clflush/clflushopt take a *shared* claim on the line's current
+ *    pending writes for the flushing thread; a later fence by any
+ *    claiming thread makes those writes guaranteed (durable).  A fence
+ *    also guarantees the fencing thread's own streamed writes.
+ *  - Guaranteed writes appear in every allowed image; a guaranteed
+ *    write to a word supersedes older pending writes to it (the old
+ *    value can never resurface).
+ *
+ * Among surviving writes the final value of a word is that of the
+ * newest (largest memory-order position) survivor — the emulator
+ * applies survivors in write order, a deliberate strengthening over
+ * the weakest reading of WC/cacheable persist interleaving, documented
+ * in DESIGN.md §5.2.
+ *
+ * The harness asserts emulator-reachable ⊆ allowed for every crash
+ * point and mode, with two exact corners: kDropUnfenced must equal
+ * strict() (guaranteed writes only) and kKeepAll must equal full()
+ * (every write applied).
+ */
+
+#ifndef MNEMOSYNE_CONFORM_ORACLE_H_
+#define MNEMOSYNE_CONFORM_ORACLE_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "conform/litmus.h"
+
+namespace mnemosyne::conform {
+
+/** A post-crash image of the litmus arena, word by word (0 = never
+ *  written).  Totally ordered so it can live in std::set. */
+using MemState = std::array<uint64_t, kArenaWords>;
+
+/** "L0.W0=2 L1.W3=5" — nonzero words only; "(zero)" when empty. */
+std::string formatMemState(const MemState &m);
+
+/** The model-allowed outcome set for one crash point. */
+struct OracleResult {
+    std::set<MemState> allowed;  ///< Every image Px86 permits.
+    MemState strict{};           ///< Guaranteed (retired) writes only.
+    MemState full{};             ///< Every executed write applied.
+};
+
+/**
+ * Compute the allowed set after executing the first @p prefix_len ops
+ * of @p p and then crashing.  strict and full are always members of
+ * allowed.  Throws std::logic_error if the outcome space exceeds an
+ * internal sanity cap (unreachable for bounded litmus programs).
+ */
+OracleResult computeAllowed(const Program &p, size_t prefix_len);
+
+} // namespace mnemosyne::conform
+
+#endif // MNEMOSYNE_CONFORM_ORACLE_H_

@@ -93,6 +93,7 @@ eventName(ScmContext::Event ev)
       case ScmContext::Event::kStore: return "store";
       case ScmContext::Event::kWtStore: return "wtstore";
       case ScmContext::Event::kFlush: return "flush";
+      case ScmContext::Event::kFlushOpt: return "flushopt";
       case ScmContext::Event::kFence: return "fence";
     }
     return "?";
@@ -187,13 +188,14 @@ ScmContext::setCrashMode(CrashPersistMode m, uint64_t seed)
 
 ScmContext::JournalEntry
 ScmContext::makeEntry(void *addr, const void *src, size_t len,
-                      WriteState st)
+                      WriteState st, bool streaming)
 {
     JournalEntry e;
     e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
     e.addr = reinterpret_cast<uintptr_t>(addr);
     e.len = uint32_t(len);
     e.state = st;
+    e.streaming = streaming;
     if (len > JournalEntry::kInlineBytes)
         e.spill = std::make_unique<uint8_t[]>(2 * len);
     std::memcpy(e.oldBytes(), addr, len);
@@ -217,16 +219,27 @@ ScmContext::store(void *addr, const void *src, size_t len)
         return;
     }
     // Into the shared cache pool: the write is coherent and visible,
-    // and any thread's later flush of its line(s) can issue it.
+    // and any thread's later flush of its line(s) can issue it.  The
+    // write is split at cache-line boundaries — clflush acts on one
+    // line, so each line's portion must be claimable and persistable
+    // independently (a cross-line store tears at the boundary when
+    // only one of its lines was flushed before the crash).
     std::lock_guard<std::mutex> g(cache_.mu);
-    JournalEntry e = makeEntry(addr, src, len, WriteState::kCached);
-    const uint64_t key = e.seq;
-    const uintptr_t first = lineBase(addr);
-    const uintptr_t last =
-        lineBase(static_cast<const uint8_t *>(addr) + len - 1);
-    for (uintptr_t line = first; line <= last; line += kCacheLineSize)
+    auto *dst = static_cast<uint8_t *>(addr);
+    const auto *s = static_cast<const uint8_t *>(src);
+    size_t off = 0;
+    while (off < len) {
+        const uintptr_t line = lineBase(dst + off);
+        const size_t n = std::min<size_t>(
+            len - off,
+            line + kCacheLineSize - reinterpret_cast<uintptr_t>(dst + off));
+        JournalEntry e =
+            makeEntry(dst + off, s + off, n, WriteState::kCached, false);
+        const uint64_t key = e.seq;
         cache_.byLine[line].push_back(key);
-    cache_.entries.emplace(key, std::move(e));
+        cache_.entries.emplace(key, std::move(e));
+        off += n;
+    }
 }
 
 void
@@ -255,47 +268,45 @@ ScmContext::wtstore(void *addr, const void *src, size_t len)
         deviceCopy(addr, src, len);
         return;
     }
-    JournalEntry e = makeEntry(addr, src, len, WriteState::kIssued);
+    JournalEntry e = makeEntry(addr, src, len, WriteState::kIssued, true);
     std::lock_guard<std::mutex> g(t.mu);
     t.entries.push_back(std::move(e));
 }
 
 void
-ScmContext::flush(const void *addr)
+ScmContext::flushImpl(const void *addr, Event ev)
 {
     if (halted_.load(std::memory_order_acquire))
         return;
     nFlushes_.add(1);
     obs::TraceRing::instance().record(obs::TraceEv::kFlush,
                                       uintptr_t(addr), kCacheLineSize);
-    hookEvent(Event::kFlush, addr, kCacheLineSize);
+    hookEvent(ev, addr, kCacheLineSize);
     if (cfg_.failure_tracking) {
-        // Claim the line's cached writes: they are now issued toward SCM
-        // and the *calling* thread's next fence retires them.  clflush
-        // operates on the coherent cache, so this works across threads
-        // (asynchronous truncation relies on it).
+        // Claim the line's cached writes: they are now issued toward
+        // SCM, and a fence by *any* thread that flushed the line
+        // retires them.  The entries stay in the coherent pool — the
+        // claim is shared, not a hand-off — so two threads flushing
+        // the same line each gain the clflush→fence durability edge
+        // (asynchronous truncation relies on the cross-thread case).
         const uintptr_t base = lineBase(addr);
-        std::vector<JournalEntry> claimed;
-        {
-            std::lock_guard<std::mutex> g(cache_.mu);
-            auto it = cache_.byLine.find(base);
-            if (it != cache_.byLine.end()) {
-                for (uint64_t key : it->second) {
-                    auto eit = cache_.entries.find(key);
-                    if (eit == cache_.entries.end())
-                        continue; // claimed via another of its lines
-                    eit->second.state = WriteState::kIssued;
-                    claimed.push_back(std::move(eit->second));
-                    cache_.entries.erase(eit);
-                }
-                cache_.byLine.erase(it);
+        ThreadScm &t = self();
+        std::scoped_lock g(t.mu, cache_.mu);
+        auto it = cache_.byLine.find(base);
+        if (it != cache_.byLine.end()) {
+            auto &keys = it->second;
+            size_t w = 0;
+            for (uint64_t key : keys) {
+                auto eit = cache_.entries.find(key);
+                if (eit == cache_.entries.end())
+                    continue; // retired by a claimant's fence; prune
+                eit->second.state = WriteState::kIssued;
+                t.claimedKeys.push_back(key);
+                keys[w++] = key;
             }
-        }
-        if (!claimed.empty()) {
-            ThreadScm &t = self();
-            std::lock_guard<std::mutex> g(t.mu);
-            for (auto &e : claimed)
-                t.entries.push_back(std::move(e));
+            keys.resize(w);
+            if (keys.empty())
+                cache_.byLine.erase(it);
         }
     }
     // Cacheable writes pay the PCM write latency on the subsequent
@@ -303,6 +314,18 @@ ScmContext::flush(const void *addr)
     // accounting: charge()'s shared atomic is a contention point.
     if (cfg_.latency_mode != LatencyMode::kNone || cfg_.failure_tracking)
         account_.charge(cfg_.latency_mode, cfg_.write_latency_ns);
+}
+
+void
+ScmContext::flush(const void *addr)
+{
+    flushImpl(addr, Event::kFlush);
+}
+
+void
+ScmContext::flushopt(const void *addr)
+{
+    flushImpl(addr, Event::kFlushOpt);
 }
 
 void
@@ -357,10 +380,32 @@ ScmContext::fence()
 
     if (cfg_.failure_tracking) {
         // Retire this thread's issued writes: they are now durable.
-        std::lock_guard<std::mutex> g(t.mu);
+        // Two sources: the thread's own streamed stores, and the pool
+        // entries whose lines it flushed.  A claimed entry another
+        // claimant's fence already retired is simply gone.  The
+        // conformance canary (ScmConfig::conform_bug) severs exactly
+        // the flush half of this edge.
+        std::scoped_lock g(t.mu, cache_.mu);
         std::erase_if(t.entries, [](const JournalEntry &e) {
             return e.state == WriteState::kIssued;
         });
+        if (!cfg_.conform_bug) {
+            for (uint64_t key : t.claimedKeys) {
+                auto eit = cache_.entries.find(key);
+                if (eit == cache_.entries.end())
+                    continue;
+                const uintptr_t line = lineBase(
+                    reinterpret_cast<const void *>(eit->second.addr));
+                auto lit = cache_.byLine.find(line);
+                if (lit != cache_.byLine.end()) {
+                    std::erase(lit->second, key);
+                    if (lit->second.empty())
+                        cache_.byLine.erase(lit);
+                }
+                cache_.entries.erase(eit);
+            }
+            t.claimedKeys.clear();
+        }
     }
     account_.charge(cfg_.latency_mode, delay);
 }
@@ -372,8 +417,8 @@ ScmContext::crash(bool halt_after)
     if (halt_after)
         halted_.store(true, std::memory_order_release);
 
-    // Collect every outstanding write — per-thread issued journals plus
-    // the shared cache pool — in global write order.
+    // Collect every outstanding write — per-thread streamed journals
+    // plus the shared cache pool — in global write order.
     std::vector<JournalEntry> all;
     {
         std::lock_guard<std::mutex> reg(regMu_);
@@ -383,6 +428,7 @@ ScmContext::crash(bool halt_after)
             for (auto &e : t->entries)
                 all.push_back(std::move(e));
             t->entries.clear();
+            t->claimedKeys.clear();
             t->wtBytesSinceFence = 0;
         }
         std::lock_guard<std::mutex> g(cache_.mu);
@@ -398,14 +444,33 @@ ScmContext::crash(bool halt_after)
                   return a.seq < b.seq;
               });
 
-    // Step 1: revert everything, newest first, to reach the durable base.
-    for (auto it = all.rbegin(); it != all.rend(); ++it)
-        std::memcpy(reinterpret_cast<void *>(it->addr), it->oldBytes(),
-                    it->len);
+    // Step 1: revert, newest first, to reach the durable base.  A byte
+    // whose current value differs from the entry's post-image was
+    // overwritten by a *retired* (already durable) later write — e.g.
+    // store(x,1) still pending while wtstore(x,2)+fence retired —
+    // and rewinding it would un-persist durable data.  Such bytes are
+    // superseded: patch both images to the durable value so the revert
+    // and any re-apply of the entry become no-ops for them (the
+    // superseded write is observationally invisible either way).  One
+    // blind spot, shared with the whole pre-image scheme: a retired
+    // write that stored the byte's *identical* pending value cannot be
+    // told apart from "no later write" and is still rewound.
+    for (auto it = all.rbegin(); it != all.rend(); ++it) {
+        auto *mem = reinterpret_cast<uint8_t *>(it->addr);
+        uint8_t *oldb = it->oldBytes();
+        uint8_t *newb = it->newBytes();
+        for (uint32_t b = 0; b < it->len; ++b) {
+            if (mem[b] == newb[b])
+                mem[b] = oldb[b];
+            else
+                oldb[b] = newb[b] = mem[b];
+        }
+    }
 
     // Step 2: re-apply the writes that "made it" to SCM, oldest first.
+    if (cfg_.crash_mode == CrashPersistMode::kRandomSubset)
+        return applyRandomSubset(all);
     uint64_t lost = 0;
-    std::mt19937_64 rng(cfg_.crash_seed ^ 0x9e3779b97f4a7c15ULL);
     for (auto &e : all) {
         bool keep_entry = false;
         switch (cfg_.crash_mode) {
@@ -418,23 +483,8 @@ ScmContext::crash(bool halt_after)
           case CrashPersistMode::kKeepAll:
             keep_entry = true;
             break;
-          case CrashPersistMode::kRandomSubset: {
-            // SCM guarantees atomic 64-bit writes (section 2); decide
-            // survival per aligned 8-byte chunk of the entry.
-            bool any_lost = false;
-            for (uint32_t off = 0; off < e.len; off += 8) {
-                const uint32_t n = std::min<uint32_t>(8, e.len - off);
-                if (rng() & 1) {
-                    std::memcpy(reinterpret_cast<void *>(e.addr + off),
-                                e.newBytes() + off, n);
-                } else {
-                    any_lost = true;
-                }
-            }
-            if (any_lost)
-                ++lost;
-            continue;
-          }
+          case CrashPersistMode::kRandomSubset:
+            break; // handled above
         }
         if (keep_entry) {
             std::memcpy(reinterpret_cast<void *>(e.addr), e.newBytes(),
@@ -446,6 +496,75 @@ ScmContext::crash(bool halt_after)
     return lost;
 }
 
+uint64_t
+ScmContext::applyRandomSubset(std::vector<JournalEntry> &all)
+{
+    // The adversarial mode realizes the Px86 failure semantics
+    // (arXiv 2010.13593) the conformance oracle checks against:
+    //
+    //  - Survival is decided per *device-aligned* 8-byte chunk — SCM
+    //    persists are atomic at aligned 64-bit granularity (paper
+    //    section 2), so an unaligned write can tear exactly at the
+    //    boundaries of the device words it straddles.
+    //  - Persists to one cache line are FIFO: a crash cuts each line's
+    //    cacheable write sequence at a single point, and the surviving
+    //    writes of the line are a prefix of its write order.
+    //  - Streamed writes sit in write-combining buffers, which drain
+    //    in arbitrary 8-byte chunks — independent survival per chunk,
+    //    exempt from the per-line FIFO.
+    //
+    // RNG draws happen in a layout-stable order (lines ascending, then
+    // streamed chunks in write order), so a (seed, workload) pair
+    // reproduces the same image wherever the arena's internal layout
+    // is the same — the property sweep repro specs depend on.
+    struct Chunk {
+        JournalEntry *e;
+        uint32_t off, n;
+    };
+    std::map<uintptr_t, std::vector<Chunk>> lines;
+    std::vector<Chunk> wc;
+    for (auto &e : all) {
+        uint32_t off = 0;
+        while (off < e.len) {
+            const uintptr_t a = e.addr + off;
+            const uint32_t n =
+                std::min<uint32_t>(e.len - off, uint32_t(8 - (a & 7)));
+            if (e.streaming)
+                wc.push_back({&e, off, n});
+            else
+                lines[lineBase(reinterpret_cast<const void *>(a))]
+                    .push_back({&e, off, n});
+            off += n;
+        }
+    }
+
+    std::mt19937_64 rng(cfg_.crash_seed ^ 0x9e3779b97f4a7c15ULL);
+    std::vector<Chunk> kept;
+    for (auto &[line, seqd] : lines) {
+        (void)line;
+        const size_t cut = size_t(rng() % (seqd.size() + 1));
+        kept.insert(kept.end(), seqd.begin(), seqd.begin() + cut);
+    }
+    for (const auto &c : wc)
+        if (rng() & 1)
+            kept.push_back(c);
+
+    std::sort(kept.begin(), kept.end(), [](const Chunk &a, const Chunk &b) {
+        return a.e->seq != b.e->seq ? a.e->seq < b.e->seq : a.off < b.off;
+    });
+    std::unordered_map<const JournalEntry *, uint32_t> keptBytes;
+    for (const auto &c : kept) {
+        std::memcpy(reinterpret_cast<void *>(c.e->addr + c.off),
+                    c.e->newBytes() + c.off, c.n);
+        keptBytes[c.e] += c.n;
+    }
+    uint64_t lost = 0;
+    for (const auto &e : all)
+        if (keptBytes[&e] < e.len)
+            ++lost;
+    return lost;
+}
+
 void
 ScmContext::persistAll()
 {
@@ -454,6 +573,7 @@ ScmContext::persistAll()
         (void)tid;
         std::lock_guard<std::mutex> g(t->mu);
         t->entries.clear();
+        t->claimedKeys.clear();
         t->wtBytesSinceFence = 0;
     }
     std::lock_guard<std::mutex> g(cache_.mu);

@@ -25,16 +25,26 @@
  *    plain reads).
  *  - A per-thread undo journal records every persistent-memory write
  *    that is not yet guaranteed durable, together with its pre-image.
- *  - fence() retires the calling thread's issued (flushed / streamed)
- *    entries: they are now durable.  Entries that are only in the
+ *  - fence() retires the calling thread's issued entries: its streamed
+ *    writes, and every cache line the thread has flushed (the claim a
+ *    flush takes on a line is shared — any thread that flushed the
+ *    line can make it durable with its own fence, matching the formal
+ *    clflush→fence ordering of Px86).  Entries that are only in the
  *    simulated cache (plain store(), never flushed) stay volatile.
  *  - crash() computes the post-failure SCM image: it reverts all
  *    journaled writes to obtain the durable base state and then, under
- *    CrashPersistMode::kRandomSubset, re-applies a seeded random subset
- *    of the un-retired writes at 8-byte granularity — modelling that
- *    in-flight and cache-resident writes may reach SCM in any order, or
- *    not at all.  Consistency protocols must be correct under every
- *    subset; property tests sweep seeds.
+ *    CrashPersistMode::kRandomSubset, re-applies a seeded random
+ *    selection of the un-retired writes at 8-byte granularity.
+ *
+ * The failure model follows the formal x86 persistency semantics of
+ * *Taming x86-TSO Persistency* (arXiv 2010.13593), Px86: persists to
+ * one cache line are FIFO (a crash cuts each line's write sequence at
+ * a single point), streamed (write-combining) writes drain in
+ * arbitrary aligned-8-byte chunks, and cross-line persist order is
+ * unconstrained without flush+fence.  src/conform/ checks the emulator
+ * against an executable oracle of that model litmus test by litmus
+ * test; DESIGN.md §5.2 documents the rule-by-rule mapping and the
+ * known simplifications.
  */
 
 #ifndef MNEMOSYNE_SCM_SCM_H_
@@ -99,6 +109,16 @@ struct ScmConfig {
      * unavailable but all latency accounting still applies.
      */
     bool failure_tracking = true;
+
+    /**
+     * Conformance canary (MN_CONFORM_BUG): fence() skips retiring the
+     * lines the calling thread flushed, severing the clflush→fence
+     * durability edge while streamed writes still retire.  Exists so
+     * the Px86 conformance harness (src/conform) can prove it catches
+     * a broken emulator with a deterministic repro; never set in real
+     * runs.
+     */
+    bool conform_bug = false;
 };
 
 /** Counters describing emulator activity since the last reset. */
@@ -127,7 +147,7 @@ class ScmContext
 {
   public:
     /** Kinds of persistence events, as seen by the write hook. */
-    enum class Event { kStore, kWtStore, kFlush, kFence };
+    enum class Event { kStore, kWtStore, kFlush, kFlushOpt, kFence };
 
     /**
      * Crash-point hook: invoked with a global monotonically increasing
@@ -153,6 +173,18 @@ class ScmContext
 
     /** Write back the cache line containing @p addr (clflush). */
     void flush(const void *addr);
+
+    /**
+     * Optimized write-back of the line containing @p addr (clflushopt).
+     * In this model it is durability-equivalent to flush() — the line
+     * is written back and a subsequent fence by the flushing thread
+     * makes it durable.  The real instruction is weaker only in its
+     * ordering against *other* flushes, which does not change the set
+     * of reachable post-crash states at fence granularity (DESIGN.md
+     * §5.2); the separate event kind exists so protocols can state
+     * intent and the conformance harness can exercise both paths.
+     */
+    void flushopt(const void *addr);
 
     /** Flush every cache line overlapping [addr, addr+len). */
     void flushRange(const void *addr, size_t len);
@@ -242,6 +274,7 @@ class ScmContext
         uintptr_t addr;
         uint32_t len;
         WriteState state;
+        bool streaming;         ///< wtstore (write-combining) vs cacheable.
         // Small writes are the common case; images are stored inline up
         // to kInlineBytes and spill to the heap beyond that.
         static constexpr size_t kInlineBytes = 64;
@@ -253,24 +286,32 @@ class ScmContext
     };
 
     /**
-     * Per-thread emulator state.  Holds the thread's *issued* writes:
-     * streamed stores (write-combining semantics are per-thread, so only
-     * this thread's fence retires them) and cache lines this thread
-     * flushed (clflush + this thread's mfence makes them durable, even
-     * if another thread wrote them — the coherent-cache path that
-     * asynchronous log truncation depends on).
+     * Per-thread emulator state.  Holds the thread's streamed stores
+     * (write-combining semantics are per-thread, so only this thread's
+     * fence retires them) and the keys of cache-pool entries whose
+     * lines this thread flushed (clflush + this thread's mfence makes
+     * them durable, even if another thread wrote them — the
+     * coherent-cache path that asynchronous log truncation depends
+     * on).  The claim is shared, not exclusive: the entry stays in the
+     * pool, and whichever flushing thread fences first retires it —
+     * the formal clflush→fence rule of Px86 is per flush, not per
+     * first-flusher.
      */
     struct ThreadScm {
         std::mutex mu;                      // guards entries against crash()
-        std::vector<JournalEntry> entries;  // un-retired issued writes
+        std::vector<JournalEntry> entries;  // un-retired streamed writes
+        std::vector<uint64_t> claimedKeys;  // flushed pool entries
         uint64_t wtBytesSinceFence = 0;     // for the bandwidth model
         std::chrono::steady_clock::time_point wtSeqStart;
     };
 
     /**
-     * Writes sitting in the simulated (shared, coherent) cache: plain
-     * store() results, not yet flushed by anyone.  Indexed by cache line
-     * so flush() can claim them.
+     * Writes living in the simulated (shared, coherent) cache: plain
+     * store() results, split at cache-line boundaries (clflush acts on
+     * one line, so each line's portion persists independently).
+     * Entries flushed by some thread turn kIssued but remain here until
+     * a claimant's fence retires them.  Indexed by cache line so
+     * flush() can claim them.
      */
     struct CachePool {
         std::mutex mu;
@@ -280,7 +321,9 @@ class ScmContext
 
     ThreadScm &self();
     JournalEntry makeEntry(void *addr, const void *src, size_t len,
-                           WriteState st);
+                           WriteState st, bool streaming);
+    void flushImpl(const void *addr, Event ev);
+    uint64_t applyRandomSubset(std::vector<JournalEntry> &all);
     void hookEvent(Event ev, const void *addr, size_t len);
 
     ScmConfig cfg_;
@@ -362,6 +405,7 @@ class ScopedThreadCtx
 inline void store(void *a, const void *s, size_t n) { ctx().store(a, s, n); }
 inline void wtstore(void *a, const void *s, size_t n) { ctx().wtstore(a, s, n); }
 inline void flush(const void *a) { ctx().flush(a); }
+inline void flushopt(const void *a) { ctx().flushopt(a); }
 inline void flushRange(const void *a, size_t n) { ctx().flushRange(a, n); }
 inline void fence() { ctx().fence(); }
 template <typename T> void storeT(T *a, T v) { ctx().storeT(a, v); }

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the Px86 conformance harness (src/conform): litmus IR and
+ * generator determinism, hand-checked oracle outcome sets, the
+ * emulator-vs-oracle check across every crash mode, the MN_CONFORM_BUG
+ * canary, and repro-spec round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "conform/harness.h"
+#include "conform/litmus.h"
+#include "conform/oracle.h"
+#include "scm/scm.h"
+
+namespace conform = mnemosyne::conform;
+namespace scm = mnemosyne::scm;
+using conform::GenConfig;
+using conform::MemState;
+using conform::Program;
+using scm::CrashPersistMode;
+
+namespace {
+
+MemState
+state(std::initializer_list<std::pair<int, uint64_t>> words)
+{
+    MemState m{};
+    for (const auto &[idx, val] : words)
+        m[size_t(idx)] = val;
+    return m;
+}
+
+Program
+mustFind(const std::string &name)
+{
+    Program p;
+    EXPECT_TRUE(conform::findProgram(name, GenConfig{}, &p)) << name;
+    return p;
+}
+
+} // namespace
+
+TEST(Litmus, CuratedProgramsAreWellFormed)
+{
+    const auto programs = conform::curatedPrograms();
+    ASSERT_GE(programs.size(), 15u);
+    std::set<std::string> names;
+    for (const auto &p : programs) {
+        EXPECT_TRUE(names.insert(p.name).second) << "duplicate " << p.name;
+        EXPECT_FALSE(p.family.empty());
+        EXPECT_FALSE(p.ops.empty());
+        EXPECT_GE(p.threads(), 1);
+        EXPECT_LE(p.threads(), 2);
+        std::set<uint64_t> values;
+        for (const auto &op : p.ops) {
+            EXPECT_LT(op.line, conform::kLines);
+            EXPECT_LT(op.word, conform::kWordsPerLine);
+            if (op.kind == conform::OpKind::kStore ||
+                op.kind == conform::OpKind::kWtStore) {
+                EXPECT_NE(op.value, 0u);
+                EXPECT_TRUE(values.insert(op.value).second)
+                    << p.name << ": store values must be distinct";
+            }
+        }
+    }
+}
+
+TEST(Litmus, GeneratorIsDeterministicAndBounded)
+{
+    GenConfig cfg;
+    cfg.max_ops = 2;
+    const auto a = conform::generatePrograms(cfg);
+    const auto b = conform::generatePrograms(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].name, "gen" + std::to_string(i));
+        ASSERT_EQ(a[i].ops.size(), b[i].ops.size());
+        EXPECT_LE(a[i].ops.size(), 2u);
+        bool write = false;
+        for (size_t j = 0; j < a[i].ops.size(); ++j) {
+            EXPECT_EQ(conform::formatOp(a[i].ops[j]),
+                      conform::formatOp(b[i].ops[j]));
+            write |= a[i].ops[j].kind == conform::OpKind::kStore ||
+                     a[i].ops[j].kind == conform::OpKind::kWtStore;
+        }
+        EXPECT_TRUE(write) << a[i].name << " has no store";
+    }
+}
+
+TEST(Litmus, DefaultBoundsYieldWellOverFiveHundredPrograms)
+{
+    // The tier-1 ctest target runs the full default enumeration; the
+    // issue's floor is >= 500 distinct programs.
+    const auto programs = conform::generatePrograms(GenConfig{});
+    EXPECT_GE(programs.size(), 500u);
+}
+
+TEST(Litmus, MaxProgramsCapsTheStablePrefix)
+{
+    GenConfig cfg;
+    cfg.max_ops = 2;
+    GenConfig capped = cfg;
+    capped.max_programs = 10;
+    const auto full = conform::generatePrograms(cfg);
+    const auto some = conform::generatePrograms(capped);
+    ASSERT_EQ(some.size(), 10u);
+    for (size_t i = 0; i < some.size(); ++i)
+        EXPECT_EQ(some[i].name, full[i].name);
+}
+
+TEST(Litmus, FindProgramResolvesCuratedAndGeneratedNames)
+{
+    Program p;
+    EXPECT_TRUE(conform::findProgram("same_line_prefix", GenConfig{}, &p));
+    EXPECT_EQ(p.family, "line_fifo");
+
+    const auto gen = conform::generatePrograms(GenConfig{});
+    const size_t pick = gen.size() - 1;
+    ASSERT_TRUE(
+        conform::findProgram("gen" + std::to_string(pick), GenConfig{}, &p));
+    EXPECT_EQ(p.ops.size(), gen[pick].ops.size());
+    for (size_t j = 0; j < p.ops.size(); ++j)
+        EXPECT_EQ(conform::formatOp(p.ops[j]),
+                  conform::formatOp(gen[pick].ops[j]));
+
+    EXPECT_FALSE(conform::findProgram("no_such_litmus", GenConfig{}, &p));
+    EXPECT_FALSE(conform::findProgram("gen999999999", GenConfig{}, &p));
+}
+
+TEST(ConformSpecTest, FormatParseRoundTrip)
+{
+    conform::ConformSpec spec;
+    spec.program = "same_line_prefix";
+    spec.event = 3;
+    spec.mode = CrashPersistMode::kRandomSubset;
+    spec.seed = 7;
+    const std::string s = conform::formatSpec(spec);
+    EXPECT_EQ(s, "same_line_prefix:3:rand:7");
+
+    conform::ConformSpec back;
+    ASSERT_TRUE(conform::parseSpec(s, &back));
+    EXPECT_EQ(back.program, spec.program);
+    EXPECT_EQ(back.event, spec.event);
+    EXPECT_EQ(back.mode, spec.mode);
+    EXPECT_EQ(back.seed, spec.seed);
+
+    EXPECT_FALSE(conform::parseSpec("missing:parts", &back));
+    EXPECT_FALSE(conform::parseSpec("p:1:badmode:0", &back));
+    EXPECT_FALSE(conform::parseSpec("p:notanum:drop:0", &back));
+}
+
+TEST(Oracle, SameLinePrefixAllowsExactlyTheFifoCuts)
+{
+    // st L0.W0=1; st L0.W1=2 — survivors must be a prefix: {}, {1},
+    // {1,2}.  The (0,2) state would violate the per-line FIFO.
+    const Program p = mustFind("same_line_prefix");
+    const auto o = conform::computeAllowed(p, 2);
+    const std::set<MemState> want{state({}), state({{0, 1}}),
+                                  state({{0, 1}, {1, 2}})};
+    EXPECT_EQ(o.allowed, want);
+    EXPECT_EQ(o.strict, state({}));
+    EXPECT_EQ(o.full, state({{0, 1}, {1, 2}}));
+}
+
+TEST(Oracle, CrossLineWritesAreIndependent)
+{
+    // st L0.W0=1; st L1.W0=2 — no persist ordering across lines: all
+    // four combinations are allowed.
+    const Program p = mustFind("cross_line_no_order");
+    const auto o = conform::computeAllowed(p, 2);
+    EXPECT_EQ(o.allowed.size(), 4u);
+    EXPECT_TRUE(o.allowed.count(state({{8, 2}})))
+        << "L1 persisting without L0 must be allowed";
+}
+
+TEST(Oracle, WcWritesAreExemptFromLineFifo)
+{
+    // wt L0.W0=1; wt L0.W1=2 — write-combining chunks drain in any
+    // order, so all four subsets are allowed despite the shared line.
+    const Program p = mustFind("wt_same_line_weak_order");
+    const auto o = conform::computeAllowed(p, 2);
+    EXPECT_EQ(o.allowed.size(), 4u);
+    EXPECT_TRUE(o.allowed.count(state({{1, 2}})));
+}
+
+TEST(Oracle, RetiredOverwriteForcesTheDurableValue)
+{
+    // st x=1 (pending); wt x=2; fence — the streamed write is durable,
+    // and the pending store's pre-image may never resurface: the only
+    // allowed post-crash value is 2.
+    const Program p = mustFind("retired_overwrite");
+    const auto o = conform::computeAllowed(p, 3);
+    const std::set<MemState> want{state({{0, 2}})};
+    EXPECT_EQ(o.allowed, want);
+    EXPECT_EQ(o.strict, state({{0, 2}}));
+}
+
+TEST(Oracle, CrossThreadFlushGivesTheFlusherTheDurabilityEdge)
+{
+    // st by t0; flush by t1; fence by t1 — durable.
+    const Program fenced = mustFind("cross_thread_flush_fence");
+    const auto of = conform::computeAllowed(fenced, 3);
+    EXPECT_EQ(of.strict, state({{0, 1}}));
+    EXPECT_EQ(of.allowed, std::set<MemState>{state({{0, 1}})});
+
+    // st by t0; flush by t1; fence by t0 — t0 never flushed, so its
+    // fence retires nothing: the store may still be lost.
+    const Program wrong = mustFind("cross_thread_flush_wrong_fence");
+    const auto ow = conform::computeAllowed(wrong, 3);
+    EXPECT_EQ(ow.strict, state({}));
+    const std::set<MemState> want{state({}), state({{0, 1}})};
+    EXPECT_EQ(ow.allowed, want);
+}
+
+TEST(Oracle, StrictAndFullAreAlwaysMembersOfAllowed)
+{
+    for (const auto &p : conform::curatedPrograms()) {
+        for (size_t prefix = 0; prefix <= p.ops.size(); ++prefix) {
+            const auto o = conform::computeAllowed(p, prefix);
+            EXPECT_TRUE(o.allowed.count(o.strict))
+                << p.name << " prefix " << prefix;
+            EXPECT_TRUE(o.allowed.count(o.full))
+                << p.name << " prefix " << prefix;
+        }
+    }
+}
+
+TEST(Harness, CuratedSuitePassesAllModes)
+{
+    conform::Harness harness;
+    const auto rep = harness.checkAll(conform::curatedPrograms());
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.violations, 0u);
+    for (const auto &v : rep.failures)
+        ADD_FAILURE() << conform::formatSpec(v.spec) << " — " << v.detail;
+    EXPECT_GE(rep.trials, 400u);
+    EXPECT_GT(rep.coverage(), 0.5);
+    EXPECT_LE(rep.witnessed_states, rep.allowed_states);
+}
+
+TEST(Harness, GeneratedProgramsPassAllModes)
+{
+    // The bounded generated suite (every 1- and 2-op program); the
+    // tier-1 ctest target covers the default 3-op enumeration.
+    GenConfig cfg;
+    cfg.max_ops = 2;
+    conform::HarnessOptions opts;
+    opts.random_seeds = 4;
+    opts.gen = cfg;
+    conform::Harness harness(opts);
+    const auto rep = harness.checkAll(conform::generatePrograms(cfg));
+    EXPECT_TRUE(rep.ok());
+    for (const auto &v : rep.failures)
+        ADD_FAILURE() << conform::formatSpec(v.spec) << " — " << v.detail;
+}
+
+TEST(Harness, ReplayIsDeterministic)
+{
+    conform::Harness harness;
+    const Program p = mustFind("line_fifo_three_deep");
+    for (uint64_t ev = 1; ev <= p.ops.size() + 1; ++ev) {
+        for (uint64_t seed = 0; seed < 4; ++seed) {
+            const MemState a = harness.replay(
+                p, ev, CrashPersistMode::kRandomSubset, seed);
+            const MemState b = harness.replay(
+                p, ev, CrashPersistMode::kRandomSubset, seed);
+            EXPECT_EQ(a, b) << "event " << ev << " seed " << seed;
+        }
+    }
+}
+
+TEST(Harness, EventNumberingMatchesOps)
+{
+    // Crash at event 1 fires before any op; crash at len+1 never fires
+    // (run to completion, then power loss).
+    conform::Harness harness;
+    const Program p = mustFind("store_flush_fence");
+    bool crashed = false;
+    harness.replay(p, 1, CrashPersistMode::kKeepAll, 0, &crashed);
+    EXPECT_TRUE(crashed);
+    harness.replay(p, p.ops.size() + 1, CrashPersistMode::kKeepAll, 0,
+                   &crashed);
+    EXPECT_FALSE(crashed);
+}
+
+TEST(Harness, RunTrialRejectsBadSpecs)
+{
+    conform::Harness harness;
+    conform::ConformSpec spec;
+    spec.program = "no_such_litmus";
+    spec.event = 1;
+    auto r = harness.runTrial(spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.detail.find("unknown program"), std::string::npos);
+
+    spec.program = "wtstore_fence"; // 2 ops
+    spec.event = 9;
+    r = harness.runTrial(spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.detail.find("out of range"), std::string::npos);
+}
+
+TEST(Canary, ConformBugIsCaughtWithDeterministicRepro)
+{
+    // With the MN_CONFORM_BUG canary enabled the harness MUST report
+    // violations — this is the proof that the conformance check can
+    // catch a broken emulator at all.
+    conform::HarnessOptions opts;
+    opts.conform_bug = true;
+    conform::Harness buggy(opts);
+    const auto rep = buggy.checkAll(conform::curatedPrograms());
+    ASSERT_FALSE(rep.ok());
+    ASSERT_FALSE(rep.failures.empty());
+
+    // The repro spec replays byte-identically: same violation, same
+    // post-crash image, trial after trial.
+    const conform::ConformSpec spec = rep.failures.front().spec;
+    const auto a = buggy.runTrial(spec);
+    const auto b = buggy.runTrial(spec);
+    EXPECT_FALSE(a.ok);
+    EXPECT_FALSE(b.ok);
+    EXPECT_EQ(a.state, b.state);
+    EXPECT_EQ(a.detail, b.detail);
+    EXPECT_EQ(a.detail, rep.failures.front().detail);
+
+    // And the same spec passes on the unbroken emulator.
+    conform::Harness clean;
+    EXPECT_TRUE(clean.runTrial(spec).ok) << clean.runTrial(spec).detail;
+}
+
+TEST(Canary, BugViolationsIncludeTheSeveredFlushEdge)
+{
+    // The canary severs clflush→fence: store_flush_fence run to
+    // completion must now (wrongly) lose the store under strict mode.
+    conform::HarnessOptions opts;
+    opts.conform_bug = true;
+    conform::Harness buggy(opts);
+    conform::ConformSpec spec;
+    spec.program = "store_flush_fence";
+    spec.event = 4; // run to completion
+    spec.mode = CrashPersistMode::kDropUnfenced;
+    const auto r = buggy.runTrial(spec);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.state, state({}));
+}

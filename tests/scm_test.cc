@@ -390,3 +390,142 @@ TEST_P(ScmCrashProperty, MarkerNeverAheadOfData)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScmCrashProperty,
                          ::testing::Range<uint64_t>(0, 32));
+
+// --- Thread-interleaving and granularity edge cases surfaced by the
+// --- Px86 conformance harness (src/conform, DESIGN.md §5.2).
+
+TEST(Scm, CrossThreadFlushWrongFenceStillVolatile)
+{
+    // The durability edge clflush→mfence belongs to the flushing
+    // thread: the store owner fencing after SOMEONE ELSE flushed does
+    // not retire the line.
+    ScmContext c(trackedCfg());
+    uint64_t word = 0;
+    c.storeT<uint64_t>(&word, 42);
+    std::thread flusher([&] { c.flush(&word); });
+    flusher.join();
+    c.fence(); // wrong thread: it never flushed the line
+    c.crash();
+    EXPECT_EQ(word, 0u)
+        << "a fence retires only the lines the calling thread flushed";
+}
+
+TEST(Scm, DoubleFlushEitherThreadsFenceRetires)
+{
+    // A flush claim is shared, not exclusive: when two threads both
+    // flushed the line, either one's fence makes it durable — the
+    // second flusher must not be denied the durability edge.
+    ScmContext c(trackedCfg());
+    uint64_t word = 0;
+    c.storeT<uint64_t>(&word, 42);
+    c.flush(&word); // first claim: this thread
+    std::thread other([&] {
+        c.flush(&word); // second, shared claim
+        c.fence();      // the second flusher's fence suffices
+    });
+    other.join();
+    c.crash();
+    EXPECT_EQ(word, 42u);
+}
+
+TEST(Scm, RetiredOverwriteSurvivesRevert)
+{
+    // A durable (retired) newer write to a word must never be rewound
+    // by the revert of an older still-pending write to the same word.
+    ScmContext c(trackedCfg());
+    uint64_t word = 0;
+    c.storeT<uint64_t>(&word, 1);   // cached, never flushed: pending
+    c.wtstoreT<uint64_t>(&word, 2); // streamed over it
+    c.fence();                      // the streamed write is durable
+    c.crash();
+    EXPECT_EQ(word, 2u) << "revert of the pending store resurrected a "
+                           "pre-image over durable data";
+}
+
+TEST(Scm, RandomSubsetRespectsPerLineFifo)
+{
+    // Px86: persists to one cache line are FIFO.  Two stores to the
+    // same line may survive as {}, {first}, or {both} — never
+    // {second} alone.
+    for (uint64_t seed = 0; seed < 64; ++seed) {
+        ScmContext c(trackedCfg(CrashPersistMode::kRandomSubset, seed));
+        alignas(64) uint64_t line[8] = {};
+        c.storeT<uint64_t>(&line[0], 1);
+        c.storeT<uint64_t>(&line[1], 2);
+        c.crash();
+        EXPECT_FALSE(line[0] == 0 && line[1] == 2)
+            << "seed " << seed
+            << ": second store survived without the first";
+    }
+}
+
+TEST(Scm, FlushRangeStraddlingLinesAllDurable)
+{
+    // One store() spanning two cache lines, flushRange over the whole
+    // extent, fence: every byte must be durable.
+    ScmContext c(trackedCfg());
+    alignas(64) uint8_t buf[128] = {};
+    c.store(buf + 32, std::vector<uint8_t>(64, 0xAB).data(), 64);
+    c.flushRange(buf + 32, 64);
+    c.fence();
+    c.crash();
+    for (size_t i = 32; i < 96; ++i)
+        EXPECT_EQ(buf[i], 0xAB) << "byte " << i;
+}
+
+TEST(Scm, FlushRangePartialLineCoverageSplitsDurability)
+{
+    // Same straddling store, but only the FIRST line is flushed before
+    // the fence: the first line's portion is durable, the second
+    // line's portion reverts.  Requires store() to journal per line.
+    ScmContext c(trackedCfg());
+    alignas(64) uint8_t buf[128] = {};
+    c.store(buf + 32, std::vector<uint8_t>(64, 0xCD).data(), 64);
+    c.flush(buf + 32); // line 0 only
+    c.fence();
+    c.crash();
+    for (size_t i = 32; i < 64; ++i)
+        EXPECT_EQ(buf[i], 0xCD) << "flushed-line byte " << i;
+    for (size_t i = 64; i < 96; ++i)
+        EXPECT_EQ(buf[i], 0u) << "unflushed-line byte " << i;
+}
+
+TEST(Scm, FlushoptFenceIsDurable)
+{
+    ScmContext c(trackedCfg());
+    uint64_t word = 0;
+    c.storeT<uint64_t>(&word, 42);
+    c.flushopt(&word);
+    c.fence();
+    c.crash();
+    EXPECT_EQ(word, 42u);
+}
+
+TEST(Scm, FlushoptWithoutFenceIsVolatile)
+{
+    ScmContext c(trackedCfg());
+    uint64_t word = 0;
+    c.storeT<uint64_t>(&word, 42);
+    c.flushopt(&word);
+    c.crash();
+    EXPECT_EQ(word, 0u);
+}
+
+TEST(Scm, ConformBugCanarySeversFlushFenceEdge)
+{
+    // The MN_CONFORM_BUG canary: fence() skips retiring flushed lines
+    // (so flush+fence is wrongly volatile) while streamed writes still
+    // retire.  The conformance harness must detect this; here we pin
+    // the canary's exact behavior.
+    ScmConfig cfg = trackedCfg();
+    cfg.conform_bug = true;
+    ScmContext c(cfg);
+    uint64_t flushed = 0, streamed = 0;
+    c.storeT<uint64_t>(&flushed, 1);
+    c.flush(&flushed);
+    c.wtstoreT<uint64_t>(&streamed, 2);
+    c.fence();
+    c.crash();
+    EXPECT_EQ(flushed, 0u) << "canary must sever the clflush→mfence edge";
+    EXPECT_EQ(streamed, 2u) << "canary must leave streamed retirement intact";
+}

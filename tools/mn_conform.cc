@@ -1,0 +1,279 @@
+/**
+ * @file
+ * mn_conform: Px86 persistency conformance CLI.
+ *
+ * Replays litmus programs (curated named tests and/or the exhaustive
+ * bounded enumeration) through the SCM emulator, crashing at every
+ * persistence event under every crash persistence mode, and checks
+ * each post-crash image against the executable Px86 oracle.  Every
+ * failure prints a deterministic repro spec replayable with --repro.
+ *
+ * Examples:
+ *   mn_conform --curated                      # the named litmus suite
+ *   mn_conform --curated --exhaustive         # + every bounded program
+ *   mn_conform --exhaustive --max-ops 4 --seeds 8 --coverage
+ *   mn_conform --repro same_line_prefix:3:rand:5
+ *   mn_conform --curated --with-bug           # canary: must fail
+ *   mn_conform --dump retired_overwrite       # program + oracle states
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "conform/harness.h"
+#include "conform/litmus.h"
+#include "conform/oracle.h"
+#include "crash/sweep.h"
+
+namespace conform = mnemosyne::conform;
+namespace crash = mnemosyne::crash;
+namespace scm = mnemosyne::scm;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--curated] [--exhaustive] [--max-ops N]\n"
+        "          [--max-programs N] [--one-thread]\n"
+        "          [--modes drop,keep,all,rand] [--seeds N]\n"
+        "          [--coverage] [--min-coverage F] [--with-bug]\n"
+        "          [--list] [--dump NAME] [--json]\n"
+        "          [--repro PROGRAM:EVENT:MODE:SEED]\n"
+        "\n"
+        "  --curated        check the named litmus suite\n"
+        "  --exhaustive     check the bounded exhaustive enumeration\n"
+        "  --max-ops N      generator program-length bound (default 3)\n"
+        "  --max-programs N cap on generated programs (default all)\n"
+        "  --one-thread     generate single-thread programs only\n"
+        "  --modes LIST     crash modes (default drop,keep,all,rand)\n"
+        "  --seeds N        rand-mode seeds per crash point (default 8)\n"
+        "  --coverage       per-family coverage report\n"
+        "  --min-coverage F fail if rand witnessed/allowed < F (0..1)\n"
+        "  --with-bug       enable the MN_CONFORM_BUG emulator canary\n"
+        "                   (a correct harness must then report failures)\n"
+        "  --list           list curated programs and exit\n"
+        "  --dump NAME      print a program and its oracle states\n"
+        "  --json           machine-readable report on stdout\n"
+        "  --repro SPEC     replay one trial and report its outcome\n"
+        "\n"
+        "MN_CONFORM_BUG=1 in the environment also enables the canary.\n",
+        argv0);
+    return 2;
+}
+
+bool
+parseModes(const std::string &list, std::vector<scm::CrashPersistMode> *out)
+{
+    out->clear();
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        scm::CrashPersistMode m;
+        if (!crash::modeFromName(item, &m))
+            return false;
+        out->push_back(m);
+    }
+    return !out->empty();
+}
+
+void
+printJson(const conform::ConformReport &rep, double min_coverage,
+          bool coverage_ok)
+{
+    std::printf("{\n  \"families\": [\n");
+    size_t i = 0;
+    for (const auto &[name, f] : rep.families) {
+        std::printf("    {\"name\": \"%s\", \"programs\": %llu, "
+                    "\"trials\": %llu, \"allowed\": %llu, "
+                    "\"witnessed\": %llu, \"violations\": %llu}%s\n",
+                    name.c_str(), (unsigned long long)f.programs,
+                    (unsigned long long)f.trials,
+                    (unsigned long long)f.allowed_states,
+                    (unsigned long long)f.witnessed_states,
+                    (unsigned long long)f.violations,
+                    ++i < rep.families.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"repro\": [");
+    const auto specs = rep.reproSpecs();
+    for (size_t j = 0; j < specs.size(); ++j)
+        std::printf("%s\"%s\"", j ? ", " : "", specs[j].c_str());
+    std::printf("],\n  \"programs\": %llu,\n  \"trials\": %llu,\n"
+                "  \"violations\": %llu,\n  \"coverage\": %.4f,\n"
+                "  \"min_coverage\": %.4f,\n  \"ok\": %s\n}\n",
+                (unsigned long long)rep.programs,
+                (unsigned long long)rep.trials,
+                (unsigned long long)rep.violations, rep.coverage(),
+                min_coverage,
+                rep.ok() && coverage_ok ? "true" : "false");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    conform::HarnessOptions opts;
+    bool curated = false, exhaustive = false, list = false;
+    bool coverage = false, json = false;
+    double min_coverage = 0.0;
+    std::string repro, dump;
+
+    if (const char *env = std::getenv("MN_CONFORM_BUG"))
+        opts.conform_bug = env[0] != '\0' && env[0] != '0';
+
+    auto needArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            return nullptr;
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *v = nullptr;
+        if (arg == "--curated") {
+            curated = true;
+        } else if (arg == "--exhaustive") {
+            exhaustive = true;
+        } else if (arg == "--one-thread") {
+            opts.gen.two_threads = false;
+        } else if (arg == "--coverage") {
+            coverage = true;
+        } else if (arg == "--with-bug") {
+            opts.conform_bug = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--max-ops" && (v = needArg(i))) {
+            opts.gen.max_ops = int(std::strtol(v, nullptr, 10));
+        } else if (arg == "--max-programs" && (v = needArg(i))) {
+            opts.gen.max_programs = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--modes" && (v = needArg(i))) {
+            if (!parseModes(v, &opts.modes)) {
+                std::fprintf(stderr, "bad --modes list: %s\n", v);
+                return 2;
+            }
+        } else if (arg == "--seeds" && (v = needArg(i))) {
+            opts.random_seeds = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--min-coverage" && (v = needArg(i))) {
+            min_coverage = std::strtod(v, nullptr);
+        } else if (arg == "--dump" && (v = needArg(i))) {
+            dump = v;
+        } else if (arg == "--repro" && (v = needArg(i))) {
+            repro = v;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (list) {
+        for (const auto &p : conform::curatedPrograms())
+            std::printf("%-32s %-12s %zu ops\n", p.name.c_str(),
+                        p.family.c_str(), p.ops.size());
+        return 0;
+    }
+
+    if (!dump.empty()) {
+        conform::Program p;
+        if (!conform::findProgram(dump, opts.gen, &p)) {
+            std::fprintf(stderr, "unknown program: %s\n", dump.c_str());
+            return 2;
+        }
+        std::printf("%s", conform::formatProgram(p).c_str());
+        for (size_t ev = 1; ev <= p.ops.size() + 1; ++ev) {
+            const size_t prefix = std::min(ev - 1, p.ops.size());
+            const auto o = conform::computeAllowed(p, prefix);
+            std::printf("event %zu: %zu allowed, strict [%s], full [%s]\n",
+                        ev, o.allowed.size(),
+                        conform::formatMemState(o.strict).c_str(),
+                        conform::formatMemState(o.full).c_str());
+        }
+        return 0;
+    }
+
+    if (!repro.empty()) {
+        conform::ConformSpec spec;
+        if (!conform::parseSpec(repro, &spec)) {
+            std::fprintf(stderr, "bad repro spec: %s\n", repro.c_str());
+            return 2;
+        }
+        conform::Harness harness(opts);
+        const auto r = harness.runTrial(spec);
+        std::printf("%s: %s%s%s (crash %s, image [%s])\n",
+                    conform::formatSpec(spec).c_str(),
+                    r.ok ? "PASS" : "FAIL", r.detail.empty() ? "" : " — ",
+                    r.detail.c_str(), r.crashed ? "fired" : "did not fire",
+                    conform::formatMemState(r.state).c_str());
+        return r.ok ? 0 : 1;
+    }
+
+    if (!curated && !exhaustive)
+        return usage(argv[0]);
+
+    std::vector<conform::Program> programs;
+    if (curated) {
+        auto c = conform::curatedPrograms();
+        programs.insert(programs.end(), std::make_move_iterator(c.begin()),
+                        std::make_move_iterator(c.end()));
+    }
+    if (exhaustive) {
+        auto g = conform::generatePrograms(opts.gen);
+        programs.insert(programs.end(), std::make_move_iterator(g.begin()),
+                        std::make_move_iterator(g.end()));
+    }
+
+    conform::Harness harness(opts);
+    const auto rep = harness.checkAll(programs);
+    const bool coverage_ok =
+        min_coverage <= 0.0 || rep.coverage() >= min_coverage;
+
+    if (json) {
+        printJson(rep, min_coverage, coverage_ok);
+    } else {
+        if (opts.conform_bug)
+            std::printf("MN_CONFORM_BUG canary enabled: violations are "
+                        "expected below.\n");
+        if (coverage) {
+            std::printf("%-14s %9s %9s %9s %10s %9s %10s\n", "family",
+                        "programs", "trials", "allowed", "witnessed",
+                        "coverage", "violations");
+            for (const auto &[name, f] : rep.families) {
+                std::printf("%-14s %9llu %9llu %9llu %10llu %8.1f%% %10llu\n",
+                            name.c_str(), (unsigned long long)f.programs,
+                            (unsigned long long)f.trials,
+                            (unsigned long long)f.allowed_states,
+                            (unsigned long long)f.witnessed_states,
+                            f.allowed_states
+                                ? 100.0 * double(f.witnessed_states) /
+                                      double(f.allowed_states)
+                                : 0.0,
+                            (unsigned long long)f.violations);
+            }
+        }
+        for (const auto &v : rep.failures)
+            std::printf("  FAIL %s — %s\n",
+                        conform::formatSpec(v.spec).c_str(),
+                        v.detail.c_str());
+        std::printf("total: %llu programs, %llu trials, %llu violations, "
+                    "rand coverage %.1f%%\n",
+                    (unsigned long long)rep.programs,
+                    (unsigned long long)rep.trials,
+                    (unsigned long long)rep.violations,
+                    100.0 * rep.coverage());
+        if (!coverage_ok)
+            std::printf("coverage %.3f below required minimum %.3f\n",
+                        rep.coverage(), min_coverage);
+        if (!rep.ok())
+            std::printf("replay failures with: mn_conform%s --repro "
+                        "<spec>\n",
+                        opts.conform_bug ? " --with-bug" : "");
+    }
+    return rep.ok() && coverage_ok ? 0 : 1;
+}
