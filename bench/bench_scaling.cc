@@ -14,7 +14,15 @@
  *    4 writes on distinct lines) against disjoint array regions, so the
  *    measurement exercises the log/lock/commit paths, not aborts.
  *    Runs on the software fast lane (latency_mode=kNone), comparable to
- *    bench_txn_costs' PR3 headline number.
+ *    bench_txn_costs' PR3 headline number.  Measured three ways: the
+ *    per-commit-fence baseline, the fence-epoch combiner with
+ *    synchronous commits, and the combiner with commit_async + one
+ *    sync() barrier at the end — the fences/txn column is the group
+ *    commit claim (the baseline pays ~2, commit + truncation; the
+ *    combiner must amortize below 1 at 8 threads).  Fence counts come
+ *    from the SCM emulator's own statistics, so they are exact and
+ *    immune to time-slicing, unlike wall-clock throughput on an
+ *    oversubscribed host.
  *
  * Methodology for the heap cells: SCM latency is emulated virtually
  * (LatencyMode::kVirtual) at the 2000 ns write-latency point of the
@@ -40,6 +48,7 @@
  * the serialization went.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <random>
 #include <string>
@@ -166,59 +175,103 @@ runHeapCell(int nthreads, bool global_lock)
 
 struct TxnCell {
     double ops_per_sec = 0;
+    double fences_per_txn = 0;   ///< SCM fences / committed txns, exact.
     /** Interval commit-latency percentiles (mtm.commit_ns HDR, sampled
      *  1-in-16 commits); zero when obs is off. */
     double p50 = 0, p95 = 0, p99 = 0;
     uint64_t samples = 0;
 };
 
+/** Commit discipline for a txn cell. */
+enum class TxnMode {
+    kBaseline,      ///< Per-commit fence (group_commit off).
+    kCombinerSync,  ///< Fence-epoch combiner, synchronous atomic{}.
+    kCombinerAsync, ///< commit_async per txn + one sync() barrier.
+};
+
+const char *
+txnModeName(TxnMode m)
+{
+    switch (m) {
+    case TxnMode::kBaseline:      return "baseline";
+    case TxnMode::kCombinerSync:  return "gc-sync";
+    case TxnMode::kCombinerAsync: return "gc-async";
+    }
+    return "?";
+}
+
 /** One txn cell: @p nthreads running the PR3 update shape, disjoint. */
 TxnCell
-runTxnCell(int nthreads)
+runTxnCell(int nthreads, TxnMode mode)
 {
     constexpr uint64_t kWarmup = 20000;  // per thread
     constexpr uint64_t kTxns = 120000;   // per thread
     constexpr size_t kRegion = 4096;     // words per thread
 
-    bench::ScratchDir dir("scaling_txn" + std::to_string(nthreads));
+    bench::ScratchDir dir(std::string("scaling_txn_") + txnModeName(mode) +
+                          std::to_string(nthreads));
     scm::ScmContext ctx(fastLaneScm());
     scm::ScopedCtx guard(ctx);
-    Runtime rt(bench::paperRuntimeConfig(dir.path()));
+    auto rc = bench::paperRuntimeConfig(dir.path());
+    if (mode != TxnMode::kBaseline)
+        rc.txn.group_commit = true;
+    Runtime rt(rc);
     auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
         "scaling_arr", 8 * kRegion * sizeof(uint64_t), nullptr));
 
-    auto worker = [&](int t, uint64_t txns) {
+    // Threads hold their log lease until EVERY worker finished (the
+    // combiner's grace heuristic counts live leases); the done-barrier
+    // models long-lived server workers rather than exit-after-loop ones.
+    std::atomic<int> done{0};
+    auto worker = [&](int t, uint64_t txns, int nDone) {
         obs::setCurrentThreadName("txn-worker-" + std::to_string(t));
         uint64_t *mine = arr + size_t(t) * kRegion;
-        for (uint64_t i = 0; i < txns; ++i) {
-            rt.atomic([&](mnemosyne::mtm::Txn &tx) {
-                const uint64_t base = (i * 40) % (kRegion - 32);
-                uint64_t v = tx.readT<uint64_t>(&mine[base]);
-                v += tx.readT<uint64_t>(&mine[base + 8]);
-                for (int k = 0; k < 4; ++k)
-                    tx.writeT<uint64_t>(&mine[base + 8 * k],
-                                        v + uint64_t(k));
-            });
+        auto body = [&](mnemosyne::mtm::Txn &tx, uint64_t i) {
+            const uint64_t base = (i * 40) % (kRegion - 32);
+            uint64_t v = tx.readT<uint64_t>(&mine[base]);
+            v += tx.readT<uint64_t>(&mine[base + 8]);
+            for (int k = 0; k < 4; ++k)
+                tx.writeT<uint64_t>(&mine[base + 8 * k], v + uint64_t(k));
+        };
+        if (mode == TxnMode::kCombinerAsync) {
+            for (uint64_t i = 0; i < txns; ++i)
+                rt.atomicAsync(
+                    [&](mnemosyne::mtm::Txn &tx) { body(tx, i); });
+        } else {
+            for (uint64_t i = 0; i < txns; ++i)
+                rt.atomic([&](mnemosyne::mtm::Txn &tx) { body(tx, i); });
         }
+        done.fetch_add(1);
+        while (done.load() < nDone)
+            std::this_thread::yield();
     };
 
     auto runThreads = [&](uint64_t txns) {
+        done.store(0);
         std::vector<std::thread> ts;
         for (int t = 0; t < nthreads; ++t)
-            ts.emplace_back(worker, t, txns);
+            ts.emplace_back(worker, t, txns, nthreads);
         for (auto &th : ts)
             th.join();
+        // Durability parity across modes: async tickets are fenced and
+        // the truncation backlog drained before the clock stops.
+        rt.sync();
+        rt.txns().drainTruncation();
     };
 
     runThreads(kWarmup);
     obs::Phase phase("scaling_txn_" + std::to_string(nthreads) + "t");
+    const uint64_t fences0 = ctx.statsSnapshot().fences;
     bench::Timer timer;
     runThreads(kTxns);
     const double secs = timer.s();
+    const uint64_t fences1 = ctx.statsSnapshot().fences;
     const auto interval = phase.finish();
 
     TxnCell cell;
     cell.ops_per_sec = double(kTxns) * nthreads / secs;
+    cell.fences_per_txn =
+        double(fences1 - fences0) / (double(kTxns) * nthreads);
     cell.samples = interval.hdrCount("mtm.commit_ns");
     if (cell.samples) {
         cell.p50 = double(interval.hdrQuantile("mtm.commit_ns", 0.50));
@@ -273,34 +326,54 @@ main()
                     i + 1 < threads.size() ? ", " : "");
     std::printf(")\n");
 
-    std::vector<TxnCell> txn(threads.size());
-    for (size_t i = 0; i < threads.size(); ++i) {
-        txn[i] = runTxnCell(threads[i]);
-        std::printf("  measured txn @ %dT...\n", threads[i]);
+    const std::vector<TxnMode> modes = {
+        TxnMode::kBaseline, TxnMode::kCombinerSync, TxnMode::kCombinerAsync};
+    std::vector<std::vector<TxnCell>> txns(modes.size());
+    for (size_t m = 0; m < modes.size(); ++m) {
+        txns[m].resize(threads.size());
+        for (size_t i = 0; i < threads.size(); ++i) {
+            txns[m][i] = runTxnCell(threads[i], modes[m]);
+            std::printf("  measured txn (%s) @ %dT...\n",
+                        txnModeName(modes[m]), threads[i]);
+        }
     }
+    const auto &txn = txns[0]; // baseline, for the legacy shape check
 
     std::printf("\ntxn-heavy (K update txns/s, disjoint working sets; "
-                "commit latency in ns from the sampled HDR):\n");
-    std::printf("%8s  %12s %8s  %10s %10s %10s\n", "threads", "txns/s",
-                "vs 1T", "commit-p50", "p95", "p99");
-    for (size_t i = 0; i < threads.size(); ++i) {
-        std::printf("%7d%s  %12.1f %7.2fx", threads[i],
-                    unsigned(threads[i]) > hw ? "*" : " ",
-                    txn[i].ops_per_sec / 1e3,
-                    txn[i].ops_per_sec / txn[0].ops_per_sec);
-        if (txn[i].samples)
-            std::printf("  %10.0f %10.0f %10.0f\n", txn[i].p50, txn[i].p95,
-                        txn[i].p99);
-        else
-            std::printf("  %10s %10s %10s\n", "-", "-", "-");
+                "fences/txn exact from the emulator; commit latency in "
+                "ns from the sampled HDR):\n");
+    std::printf("%9s %8s  %12s %8s %11s  %10s %10s %10s\n", "mode",
+                "threads", "txns/s", "vs 1T", "fences/txn", "commit-p50",
+                "p95", "p99");
+    for (size_t m = 0; m < modes.size(); ++m) {
+        for (size_t i = 0; i < threads.size(); ++i) {
+            const TxnCell &c = txns[m][i];
+            std::printf("%9s %7d%s  %12.1f %7.2fx %11.3f",
+                        txnModeName(modes[m]), threads[i],
+                        unsigned(threads[i]) > hw ? "*" : " ",
+                        c.ops_per_sec / 1e3,
+                        c.ops_per_sec / txns[m][0].ops_per_sec,
+                        c.fences_per_txn);
+            if (c.samples)
+                std::printf("  %10.0f %10.0f %10.0f\n", c.p50, c.p95,
+                            c.p99);
+            else
+                std::printf("  %10s %10s %10s\n", "-", "-", "-");
+        }
     }
 
+    const TxnCell &gc_sync_8t = txns[1][threads.size() - 1];
+    const TxnCell &gc_async_8t = txns[2][threads.size() - 1];
     std::printf("\nshape checks:\n");
     std::printf("  4T pmalloc, per-thread vs global lock: %.2fx "
                 "(target >= 2.5x)\n",
                 hoard[2].ops_per_sec / base[2].ops_per_sec);
     std::printf("  1T txn throughput: %.0f txns/s (PR3 recorded 2009320; "
                 "must stay within 5%%)\n", txn[0].ops_per_sec);
+    std::printf("  8T fences/txn: baseline %.3f, gc-sync %.3f, gc-async "
+                "%.3f (combiner target < 1)\n",
+                txn[threads.size() - 1].fences_per_txn,
+                gc_sync_8t.fences_per_txn, gc_async_8t.fences_per_txn);
 
     std::vector<std::pair<std::string, double>> metrics;
     for (size_t i = 0; i < threads.size(); ++i) {
@@ -313,11 +386,21 @@ main()
                              base[i].wall_ops_per_sec);
         metrics.emplace_back("pmalloc_per_thread_wall_ops_" + t,
                              hoard[i].wall_ops_per_sec);
-        metrics.emplace_back("txn_ops_" + t, txn[i].ops_per_sec);
-        if (txn[i].samples) {
-            metrics.emplace_back("txn_commit_ns_p50_" + t, txn[i].p50);
-            metrics.emplace_back("txn_commit_ns_p95_" + t, txn[i].p95);
-            metrics.emplace_back("txn_commit_ns_p99_" + t, txn[i].p99);
+        for (size_t m = 0; m < modes.size(); ++m) {
+            // Baseline keeps the legacy un-prefixed keys so the curves
+            // in earlier BENCH_PR*.json stay comparable.
+            const std::string pre =
+                m == 0 ? std::string("txn")
+                       : std::string("txn_") + txnModeName(modes[m]);
+            const TxnCell &c = txns[m][i];
+            metrics.emplace_back(pre + "_ops_" + t, c.ops_per_sec);
+            metrics.emplace_back(pre + "_fences_per_txn_" + t,
+                                 c.fences_per_txn);
+            if (c.samples) {
+                metrics.emplace_back(pre + "_commit_ns_p50_" + t, c.p50);
+                metrics.emplace_back(pre + "_commit_ns_p95_" + t, c.p95);
+                metrics.emplace_back(pre + "_commit_ns_p99_" + t, c.p99);
+            }
         }
     }
     metrics.emplace_back("pmalloc_4t_speedup",

@@ -81,6 +81,7 @@ LogManager::open(void *mem)
             // A slot marked active whose log was never formatted (crash
             // between the slot flag and the log header) is reclaimed.
             if (log) {
+                log->setSlotId(i);
                 lm->logs_[i] = std::move(log);
             } else {
                 scm::ctx().wtstoreT(&states[i].active, uint64_t(0));
@@ -101,6 +102,7 @@ LogManager::acquireInShard(size_t shard, uint64_t owner_hint)
         // Format the log first, then durably flip the slot flag: a crash
         // in between leaves an inactive, formatted slot — harmless.
         logs_[i] = Rawl::create(slotMem(i), slotBytes());
+        logs_[i]->setSlotId(i);
         auto &c = scm::ctx();
         c.wtstoreT(&states_[i].ownerHint, owner_hint);
         c.wtstoreT(&states_[i].active, uint64_t(1));

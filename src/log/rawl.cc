@@ -203,14 +203,24 @@ Rawl::tryAppend(const uint64_t *words, size_t n)
         stage_.push_back((uint64_t(acc) & kPayloadMask) |
                          (parityAt(tail_ + stage_.size()) << 63));
 
-    // Stream the staged words out in physically contiguous chunks.
+    // Stream the staged words out in physically contiguous chunks.  In
+    // epoch (group-commit) mode the words go through cached stores
+    // instead: the combiner flushes their lines on this producer's
+    // behalf, and shared flush claims let the combiner's single fence
+    // retire them — a wtstore stream would only retire under the
+    // producer's OWN fence, which epoch mode never issues.
     auto &c = scm::ctx();
     size_t done = 0;
     while (done < stage_.size()) {
         const uint64_t slot = (tail_ + done) % capacity_;
         const size_t run =
             std::min(stage_.size() - done, size_t(capacity_ - slot));
-        c.wtstore(&buf_[slot], stage_.data() + done, run * sizeof(uint64_t));
+        if (cachedAppends_)
+            c.store(&buf_[slot], stage_.data() + done,
+                    run * sizeof(uint64_t));
+        else
+            c.wtstore(&buf_[slot], stage_.data() + done,
+                      run * sizeof(uint64_t));
         done += run;
     }
     const uint64_t old_tail = tail_;
@@ -272,6 +282,44 @@ Rawl::flush()
     ctrs().flushes.add(1);
     ring.record(obs::TraceEv::kLogFlush, tail_, 0,
                 t0 ? obs::nowNs() - t0 : 0);
+}
+
+void
+Rawl::linesFor(uint64_t from_abs, uint64_t to_abs,
+               std::vector<uintptr_t> &out) const
+{
+    constexpr uintptr_t kLine = 64;
+    uintptr_t last = 0;
+    bool have_last = false;
+    for (uint64_t p = from_abs; p < to_abs;) {
+        const uint64_t slot = p % capacity_;
+        const uintptr_t line =
+            reinterpret_cast<uintptr_t>(&buf_[slot]) & ~(kLine - 1);
+        if (!have_last || line != last) {
+            out.push_back(line);
+            last = line;
+            have_last = true;
+        }
+        // Jump to the first word past this cache line (wrap-aware).
+        const uint64_t words_in_line =
+            (line + kLine - reinterpret_cast<uintptr_t>(&buf_[slot])) /
+            sizeof(uint64_t);
+        const uint64_t step = std::min<uint64_t>(
+            {words_in_line, capacity_ - slot, to_abs - p});
+        p += step;
+    }
+}
+
+void
+Rawl::publishFlushed(uint64_t abs)
+{
+    uint64_t cur = flushedShadow_.load(std::memory_order_relaxed);
+    while (cur < abs &&
+           !flushedShadow_.compare_exchange_weak(
+               cur, abs, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
+    ctrs().flushes.add(1);
 }
 
 void

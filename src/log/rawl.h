@@ -104,6 +104,42 @@ class Rawl
     /** Block until all prior appends have reached SCM (one fence). */
     void flush();
 
+    // -- group-commit support ---------------------------------------------
+    //
+    // The fence-epoch combiner (mtm/group_commit.h) makes OTHER threads
+    // responsible for a producer's durability: the combiner flushes the
+    // record's cache lines and retires them with one fence for a whole
+    // epoch.  Write-combining streams are per-thread — only the issuing
+    // thread's fence retires its wtstores — so epoch-mode appends must
+    // go through ordinary cached stores, whose flushed lines any
+    // thread's fence retires (the Px86 shared-flush-claim rule).
+
+    /**
+     * Switch append staging from streaming (wtstore) to cached stores.
+     * Producer-side setting; install before the producer uses the log.
+     */
+    void setCachedAppends(bool on) { cachedAppends_ = on; }
+
+    /**
+     * Append the distinct physical cache lines backing the absolute
+     * word range [@p from_abs, @p to_abs) to @p out (wrap-aware).  The
+     * combiner flushes these on the producer's behalf.
+     */
+    void linesFor(uint64_t from_abs, uint64_t to_abs,
+                  std::vector<uintptr_t> &out) const;
+
+    /**
+     * Advance the flushed watermark to @p abs (monotonic max): the
+     * combiner publishes members' durability after its epoch fence.
+     * Safe against a concurrent producer-side flush().
+     */
+    void publishFlushed(uint64_t abs);
+
+    /** Log-manager slot index (volatile; stamped at acquire/open) —
+     *  epoch markers name members by slot. */
+    uint64_t slotId() const { return slotId_; }
+    void setSlotId(uint64_t id) { slotId_ = id; }
+
     /** Drop every record in the log (head := tail), durably. */
     void truncateAll();
 
@@ -166,6 +202,8 @@ class Rawl
     uint64_t tail_ = 0;
     std::vector<uint64_t> stage_;   ///< Producer-private staging buffer.
     std::function<void()> spaceWaiter_;  ///< Poked while append() stalls.
+    bool cachedAppends_ = false;    ///< Epoch mode: stage via cached stores.
+    uint64_t slotId_ = ~uint64_t(0);  ///< Log-manager slot index.
 };
 
 } // namespace mnemosyne::log

@@ -1,6 +1,8 @@
 #include "mtm/recovery.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mtm/txn.h"
@@ -15,15 +17,37 @@ struct ReplayTxn {
     std::vector<std::pair<uint64_t, uint64_t>> writes; // (addr, val)
 };
 
+/** One epoch marker: [kTagEpoch, epoch, n, (slot, to_abs, ts) x n]. */
+struct Marker {
+    uint64_t epoch;
+    struct MemberRef {
+        uint64_t slot;
+        uint64_t toAbs;
+        uint64_t ts;
+    };
+    std::vector<MemberRef> members;
+};
+
 } // namespace
 
 RecoveryResult
 recoverTransactions(log::LogManager &logs)
 {
     RecoveryResult res;
-    std::vector<ReplayTxn> committed;
+    std::vector<ReplayTxn> committed;        // plain kTagCommit txns
+    std::vector<ReplayTxn> epochTxns;        // kTagCommitEpoch txns
+    std::vector<Marker> markers;
+    // Per-slot surviving epoch-record timestamps and durable head, for
+    // the epoch completeness check.
+    std::unordered_map<uint64_t, std::unordered_set<uint64_t>> slotEpochTs;
+    std::unordered_map<uint64_t, uint64_t> slotHead;
 
-    logs.forEachActive([&](size_t, log::Rawl &log) {
+    logs.forEachActive([&](size_t slot, log::Rawl &log) {
+        slotHead[slot] = log.headAbs();
+        // Group-commit records were never producer-flushed; recovery
+        // must scan the full torn-bit-valid extent, not just the
+        // volatile flushed watermark (which open() conservatively set
+        // to the scan end anyway — this keeps that contract explicit).
         auto cur = log.begin();
         std::vector<uint64_t> rec;
         std::vector<std::pair<uint64_t, uint64_t>> pending;
@@ -38,6 +62,30 @@ recoverTransactions(log::LogManager &logs)
                     pending.emplace_back(rec[i], rec[i + 1]);
                 committed.push_back(ReplayTxn{rec[1], std::move(pending)});
                 pending.clear();
+            } else if (rec[0] == kTagCommitEpoch && rec.size() >= 2) {
+                // Group-commit record: same shape, but replay is gated
+                // on its epoch's marker proving the batch fence
+                // happened (whole-epoch all-or-nothing).
+                for (size_t i = 2; i + 1 < rec.size(); i += 2)
+                    pending.emplace_back(rec[i], rec[i + 1]);
+                slotEpochTs[slot].insert(rec[1]);
+                epochTxns.push_back(ReplayTxn{rec[1], std::move(pending)});
+                pending.clear();
+            } else if (rec[0] == kTagEpoch && rec.size() >= 3) {
+                // Epoch marker (marker log).  RAWL framing is whole-
+                // record, so a surviving marker is never short; the
+                // size check is defensive.
+                Marker m;
+                m.epoch = rec[1];
+                const uint64_t n = rec[2];
+                if (rec.size() >= 3 + 3 * n) {
+                    for (uint64_t i = 0; i < n; ++i) {
+                        m.members.push_back(Marker::MemberRef{
+                            rec[3 + 3 * i], rec[3 + 3 * i + 1],
+                            rec[3 + 3 * i + 2]});
+                    }
+                    markers.push_back(std::move(m));
+                }
             } else if (rec[0] == kTagAbort) {
                 res.aborted_discarded++;
                 pending.clear();
@@ -50,6 +98,53 @@ recoverTransactions(log::LogManager &logs)
         if (!pending.empty())
             res.torn_discarded++;
     });
+
+    // Whole-epoch atomicity: an epoch is COMPLETE iff, for every member
+    // named by its marker, either the member's record survives in its
+    // slot (same ts) or the slot's durable head has passed the record
+    // (consumed, which implies the epoch retired and the data is in
+    // place), or the slot is gone (released only after truncation).
+    // Replay the largest complete PREFIX of surviving markers and drop
+    // everything after: markers are appended in epoch order and sealed
+    // strictly one at a time, so an incomplete epoch means its fence
+    // (and every later epoch's) never retired.
+    std::sort(markers.begin(), markers.end(),
+              [](const Marker &a, const Marker &b) {
+                  return a.epoch < b.epoch;
+              });
+    std::unordered_set<uint64_t> fencedTs;
+    for (const auto &m : markers) {
+        bool complete = true;
+        for (const auto &ref : m.members) {
+            auto head = slotHead.find(ref.slot);
+            if (head == slotHead.end())
+                continue; // slot released: consumed before release
+            if (head->second >= ref.toAbs)
+                continue; // consumed: provably retired
+            auto ts_set = slotEpochTs.find(ref.slot);
+            if (ts_set != slotEpochTs.end() && ts_set->second.count(ref.ts))
+                continue; // record survives wholly
+            complete = false;
+            break;
+        }
+        if (!complete)
+            break;
+        for (const auto &ref : m.members)
+            fencedTs.insert(ref.ts);
+    }
+
+    size_t epoch_kept = 0;
+    for (auto &txn : epochTxns) {
+        if (fencedTs.count(txn.ts)) {
+            committed.push_back(std::move(txn));
+            ++epoch_kept;
+        } else {
+            // Un-fenced epoch (or never sealed): dropped atomically
+            // with every sibling — no torn batch replays.
+            res.unfenced_epoch_discarded++;
+        }
+    }
+    res.epoch_replayed = epoch_kept;
 
     // Replay in counter order so later transactions' values win.
     std::sort(committed.begin(), committed.end(),

@@ -18,9 +18,15 @@
 namespace mnemosyne::mtm {
 
 struct RecoveryResult {
-    size_t committed_replayed = 0;  ///< Completed txns redone.
+    size_t committed_replayed = 0;  ///< Completed txns redone (all kinds).
     size_t aborted_discarded = 0;   ///< Explicitly aborted txns skipped.
     size_t torn_discarded = 0;      ///< Unterminated trailing entries.
+    /** Group-commit txns replayed because their epoch's marker proves
+     *  the batch fence happened (subset of committed_replayed). */
+    size_t epoch_replayed = 0;
+    /** Group-commit txns dropped whole-epoch: their epoch never fenced
+     *  (no marker, torn sibling record, or a later incomplete prefix). */
+    size_t unfenced_epoch_discarded = 0;
     uint64_t max_ts = 0;            ///< Highest commit timestamp seen.
 };
 

@@ -1,5 +1,8 @@
 #include "mtm/truncation.h"
 
+#include <algorithm>
+
+#include "mtm/group_commit.h"
 #include "obs/obs.h"
 #include "obs/trace_ring.h"
 #include "scm/scm.h"
@@ -17,8 +20,9 @@ asyncTruncHist()
 
 } // namespace
 
-TruncationThread::TruncationThread()
-    : parentCtx_(&scm::ctx()), worker_([this] { run(); })
+TruncationThread::TruncationThread(uint64_t poll_us)
+    : parentCtx_(&scm::ctx()), pollUs_(poll_us ? poll_us : 100),
+      worker_([this] { run(); })
 {
 }
 
@@ -90,50 +94,96 @@ TruncationThread::run()
 {
     scm::setThreadCtx(parentCtx_);
     obs::setCurrentThreadName("async-trunc");
+    std::vector<Task> batch;
+    std::vector<log::Rawl *> consumed_logs;
     for (;;) {
-        Task task;
+        batch.clear();
+        bool stopping = false;
+        bool paused_now = false;
         {
             std::unique_lock<std::mutex> g(mu_);
-            cv_.wait_for(g, std::chrono::microseconds(100), [this] {
+            cv_.wait_for(g, std::chrono::microseconds(pollUs_), [this] {
                 return stop_ || (!paused_ && !queue_.empty());
             });
-            if (!stop_ && (paused_ || queue_.empty()))
-                continue;
             if (stop_ && (queue_.empty() || paused_))
                 return;
-            if (paused_ || queue_.empty())
-                continue;
-            task = std::move(queue_.front());
-            queue_.pop_front();
-            busy_ = true;
+            stopping = stop_;
+            paused_now = paused_;
+            if (!paused_ && !queue_.empty()) {
+                // Take the ELIGIBLE prefix: tasks whose gating epoch
+                // has retired (its fence happened).  Per-log task
+                // epochs are monotone in enqueue order, so stopping at
+                // the first gated task never strands an eligible one.
+                // At stop time the gate is bypassed — the owner retires
+                // every epoch (combiner sync) before tearing us down.
+                const uint64_t retired = (combiner_ && !stop_)
+                                             ? combiner_->retiredEpoch()
+                                             : ~uint64_t(0);
+                while (!queue_.empty() &&
+                       queue_.front().epoch <= retired) {
+                    batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+                busy_ = !batch.empty();
+            }
         }
 
-        // Force the committed values out to SCM, then release the log
-        // space.  The order matters: the redo record may only disappear
-        // once the in-place data is durable.
-        try {
-            const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
-            auto &c = scm::ctx();
-            for (uintptr_t line : task.lines)
-                c.flush(reinterpret_cast<const void *>(line));
-            c.fence();
-            task.log->consumeTo(log::Rawl::Cursor{task.consumeTo},
-                                /*do_fence=*/false);
-            if (t0)
-                asyncTruncHist().record(obs::nowNs() - t0);
-        } catch (const scm::CrashNow &) {
-            // A crash-injection hook fired on this thread: the machine
-            // is "dying"; stop touching SCM and let the test's crash()
-            // + recovery take over.
+        if (!batch.empty()) {
+            // Force the committed values out to SCM, then release the
+            // log space.  The order matters: a redo record may only
+            // disappear once its in-place data is durable.  The batch
+            // pays ONE fence — flush every task's lines, fence, then
+            // advance each log's head to its furthest consumed
+            // position (per-log enqueue order is consume order, so the
+            // last task per log carries the furthest position).
+            try {
+                const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
+                auto &c = scm::ctx();
+                for (const auto &t : batch)
+                    for (uintptr_t line : t.lines)
+                        c.flush(reinterpret_cast<const void *>(line));
+                c.fence();
+                consumed_logs.clear();
+                for (size_t i = batch.size(); i-- > 0;) {
+                    log::Rawl *log = batch[i].log;
+                    if (std::find(consumed_logs.begin(),
+                                  consumed_logs.end(),
+                                  log) != consumed_logs.end())
+                        continue;
+                    consumed_logs.push_back(log);
+                    log->consumeTo(log::Rawl::Cursor{batch[i].consumeTo},
+                                   /*do_fence=*/false);
+                }
+                if (combiner_) {
+                    for (const auto &t : batch)
+                        if (t.epoch != 0)
+                            combiner_->noteConsumed(t.epoch);
+                    combiner_->gcMarkers();
+                }
+                if (t0)
+                    asyncTruncHist().record(obs::nowNs() - t0);
+            } catch (const scm::CrashNow &) {
+                // A crash-injection hook fired on this thread: the
+                // machine is "dying"; stop touching SCM and let the
+                // test's crash() + recovery take over.
+            }
+
+            {
+                std::lock_guard<std::mutex> g(mu_);
+                busy_ = false;
+                processed_ += batch.size();
+                if (queue_.empty())
+                    idleCv_.notify_all();
+            }
         }
 
-        {
-            std::lock_guard<std::mutex> g(mu_);
-            busy_ = false;
-            ++processed_;
-            if (queue_.empty())
-                idleCv_.notify_all();
-        }
+        // Retirement driver: the poll interval doubles as the epoch
+        // timeout, so an async ticket nobody waits on still retires
+        // promptly.  Skipped while paused — crash tests need a
+        // quiescent truncator to keep persistence-event sequences
+        // deterministic.
+        if (combiner_ && !stopping && !paused_now)
+            combiner_->tryAdvance();
     }
 }
 

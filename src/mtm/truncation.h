@@ -26,6 +26,8 @@ class ScmContext;
 
 namespace mnemosyne::mtm {
 
+class EpochCombiner;
+
 class TruncationThread
 {
   public:
@@ -34,10 +36,24 @@ class TruncationThread
         log::Rawl *log;
         uint64_t consumeTo;                 ///< Log position after the txn.
         std::vector<uintptr_t> lines;       ///< Distinct cache lines to force.
+        /** Fence epoch gating this task: it may only be processed once
+         *  the epoch has retired (the record's fence has happened) —
+         *  otherwise the truncator could flush the in-place data,
+         *  fence, and consume an UNFENCED record, losing the txn if
+         *  the data lines then fail to persist.  0 = ungated.  Per-log
+         *  task epochs are monotone in enqueue order, so gating the
+         *  queue's prefix never starves an eligible task behind an
+         *  ineligible one of the same log. */
+        uint64_t epoch = 0;
     };
 
-    TruncationThread();
+    explicit TruncationThread(uint64_t poll_us = 100);
     ~TruncationThread();
+
+    /** Install the combiner the worker polls for epoch retirement
+     *  (tryAdvance — the epoch-timeout path) and notifies of consumed
+     *  member tasks (marker GC).  Call before any gated enqueue. */
+    void setCombiner(EpochCombiner *c) { combiner_ = c; }
 
     void enqueue(Task task);
 
@@ -73,6 +89,9 @@ class TruncationThread
      * that worker's private emulator, not the process-wide one.
      */
     scm::ScmContext *parentCtx_;
+
+    const uint64_t pollUs_;
+    EpochCombiner *combiner_ = nullptr;
 
     std::mutex mu_;
     std::condition_variable cv_;

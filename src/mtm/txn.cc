@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "mtm/group_commit.h"
 #include "mtm/truncation.h"
 #include "mtm/txn_manager.h"
 #include "obs/hdr_histogram.h"
@@ -70,6 +71,7 @@ Txn::reset()
     commitHooks_.clear();
     depth_ = 0;
     active_ = false;
+    asyncCommit_ = false;
 }
 
 void
@@ -283,14 +285,21 @@ Txn::read(void *dst, const void *addr, size_t len)
 }
 
 void
-Txn::stageAndAppendRedo(uint64_t ts)
+Txn::stageAndAppendRedo(uint64_t ts, bool epoch_mode)
 {
     // Per-transaction log staging: the whole redo — commit timestamp
     // plus every persistent (addr, val) pair — travels to the RAWL as
     // ONE record, so the header word and tornbit restaging are paid once
     // per transaction instead of once per store.  redoScratch_ was
-    // filled by commit(): [kTagCommit, ts-placeholder, pairs...].
-    redoScratch_[0] = kTagCommit;
+    // filled by commit(): [tag, ts-placeholder, pairs...].
+    //
+    // Under group commit the record is tagged kTagCommitEpoch and left
+    // UNFENCED: the epoch combiner flushes its lines and fences the
+    // whole batch (the log itself staged the words with cached stores,
+    // see Rawl::setCachedAppends).  Recovery then replays the txn only
+    // if its epoch's marker proves the batch fence happened.
+    const uint64_t tag = epoch_mode ? kTagCommitEpoch : kTagCommit;
+    redoScratch_[0] = tag;
     redoScratch_[1] = ts;
     redoWordsCtr().add(redoScratch_.size() - 2);
     if (flightDetail_) {
@@ -325,11 +334,13 @@ Txn::stageAndAppendRedo(uint64_t ts)
             }
             // The commit header slides down next to the tail pairs so
             // the final append stays one contiguous range.
-            redoScratch_[pos - 2] = kTagCommit;
+            redoScratch_[pos - 2] = tag;
             redoScratch_[pos - 1] = ts;
             log_->append(&redoScratch_[pos - 2], remaining + 2);
         }
     }
+    if (epoch_mode)
+        return; // the epoch fence is the durability point
     // Durability point: one fence thanks to the tornbit RAWL.
     {
         obs::SpanScope fence_span(flightDetail_, obs::Span::kLogFence);
@@ -339,7 +350,7 @@ Txn::stageAndAppendRedo(uint64_t ts)
         flightDetail_->fences += 1;
 }
 
-void
+uint64_t
 Txn::commit()
 {
     assert(active_ && depth_ == 1);
@@ -360,7 +371,7 @@ Txn::commit()
         mgr_.nReadonly_.add(1);
         obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id,
                                           /*readonly=*/1);
-        return;
+        return 0;
     }
 
     // Commit-operation latency (update transactions), sampled 1 in 16
@@ -405,9 +416,60 @@ Txn::commit()
         }
     }
     const bool logged = redoScratch_.size() > 2;
+    EpochCombiner *comb = logged ? mgr_.combiner_.get() : nullptr;
+    uint64_t epoch = 0;
 
-    if (logged)
-        stageAndAppendRedo(ts);
+    if (logged) {
+        const uint64_t from_abs = log_->tailAbs();
+        stageAndAppendRedo(ts, comb != nullptr);
+        if (comb) {
+            const EpochCombiner::Member member{log_, from_abs,
+                                               log_->tailAbs(), ts};
+            if (asyncCommit_) {
+                // commit_async: logical commit now, an epoch ticket for
+                // the caller.  The in-place write-back AND lock release
+                // are deferred to the combiner at epoch retirement —
+                // writing back earlier would let cache eviction persist
+                // in-place data ahead of its (unfenced) log record,
+                // breaking the whole-epoch atomicity guarantee.  Until
+                // the epoch retires (bounded by the epoch timeout),
+                // conflicting transactions abort and retry.
+                EpochCombiner::Pending p;
+                p.items = std::move(sortScratch_);
+                p.dataLines.assign(lineScratch_.begin(), lineScratch_.end());
+                p.lockSlots.reserve(lockPrev_.size());
+                for (const auto &it : lockPrev_)
+                    p.lockSlots.push_back(uintptr_t(it.key));
+                p.ts = ts;
+                p.log = log_;
+                p.toAbs = member.toAbs;
+                epoch = comb->joinAsync(member, std::move(p));
+                sortScratch_.clear();
+                for (auto &h : commitHooks_)
+                    h();
+                if (commit_t0)
+                    commitLatencyHist().recordAlways(
+                        obs::ticksToNs(obs::tickNow() - commit_t0));
+                const uint64_t id = id_;
+                obs::FlightRecorder::instance().endTxn(
+                    flight_, obs::kFlightCommitted, ts);
+                flight_ = nullptr;
+                flightDetail_ = nullptr;
+                reset();
+                mgr_.nCommits_.add(1);
+                obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit,
+                                                  id, ts);
+                return epoch;
+            }
+            // Synchronous commit under group commit: wait for the epoch
+            // fence (issued once, by whichever thread combines) BEFORE
+            // the write-back — write-ahead again.  The wait is what the
+            // caller pays instead of a private flush+fence.
+            obs::SpanScope fence_span(flightDetail_, obs::Span::kLogFence);
+            epoch = comb->joinSync(member);
+            comb->waitRetired(epoch);
+        }
+    }
 
     {
         obs::SpanScope wb_span(flightDetail_, obs::Span::kWriteBack);
@@ -437,7 +499,18 @@ Txn::commit()
 
     if (logged) {
         obs::SpanScope trunc_span(flightDetail_, obs::Span::kTruncate);
-        if (mgr_.cfg_.truncation == Truncation::kSync) {
+        if (comb) {
+            // Group commit always truncates through the worker thread:
+            // a synchronous flush+fence here would hand back the very
+            // fence the epoch just amortized away.  The task is gated
+            // on its epoch (already retired on this path, so it is
+            // immediately eligible).
+            mgr_.truncator_->enqueue(TruncationThread::Task{
+                log_, log_->tailAbs(),
+                std::vector<uintptr_t>(lineScratch_.begin(),
+                                       lineScratch_.end()),
+                epoch});
+        } else if (mgr_.cfg_.truncation == Truncation::kSync) {
             // Synchronous truncation: force new values to memory during
             // commit, then drop the whole per-thread log.  The head
             // advance is ordered after this fence and rides the next
@@ -480,6 +553,7 @@ Txn::commit()
     reset();
     mgr_.nCommits_.add(1);
     obs::TraceRing::instance().record(obs::TraceEv::kTxnCommit, id, ts);
+    return 0; // durable on return
 }
 
 } // namespace mnemosyne::mtm

@@ -63,10 +63,16 @@ struct TxnConflict {
  *    [kTagCommit, ts, a0, v0, a1, v1, ...]  one whole transaction
  *    [a0, v0, a1, v1, ...]                  spilled chunk of a large txn
  *    [kTagAbort]                            spilled chunks are dead
+ *    [kTagCommitEpoch, ts, a0, v0, ...]     group-commit txn: replayed
+ *                                           only if its epoch's marker
+ *                                           proves the epoch fenced
+ *    [kTagEpoch, e, n, (slot, to, ts)*n]    epoch marker (marker log)
  */
 enum LogTag : uint64_t {
     kTagCommit = 1,
     kTagAbort = 2,
+    kTagCommitEpoch = 3,
+    kTagEpoch = 4,
 };
 
 class Txn
@@ -109,7 +115,9 @@ class Txn
     explicit Txn(TxnManager &mgr) : mgr_(mgr) {}
 
     void begin(uint64_t id, log::Rawl *log);
-    void commit();
+    /** Commit; returns the epoch ticket (0 = durable on return: read-
+     *  only, volatile-only, or the combiner is off). */
+    uint64_t commit();
     void abort(const char *why);      ///< rollback() + throw TxnConflict.
     void rollback();                  ///< Clean up and run abort hooks.
     void reset();
@@ -120,7 +128,7 @@ class Txn
     void acquire(LockTable::Word &lock);
     void validateOrAbort(const char *why);
     void extend();
-    void stageAndAppendRedo(uint64_t ts);
+    void stageAndAppendRedo(uint64_t ts, bool epoch_mode);
 
     TxnManager &mgr_;
     log::Rawl *log_ = nullptr;
@@ -130,6 +138,8 @@ class Txn
     uint64_t commitSample_ = 0;     ///< mtm.commit_ns HDR sampling.
     int depth_ = 0;                 ///< Flat nesting.
     bool active_ = false;
+    bool asyncCommit_ = false;      ///< commit_async: defer durability
+                                    ///< (and write-back) to the epoch.
 
     /** Flight-recorder frame for the attempt in flight (nullptr when
      *  the recorder is disabled); owned by the recorder. */

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "mtm/group_commit.h"
 #include "mtm/recovery.h"
 #include "mtm/truncation.h"
 #include "obs/stats_registry.h"
@@ -124,7 +125,18 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
         for (auto *log : stale)
             logs_->release(log);
     }
-    truncator_ = std::make_unique<TruncationThread>();
+    truncator_ = std::make_unique<TruncationThread>(cfg_.epoch_timeout_us);
+    if (cfg_.group_commit) {
+        // The marker log is an ordinary slot; it stays on streaming
+        // appends (the combiner fences its own marker stream).  It is
+        // not recycled through the free pool — recovery tells it apart
+        // from member logs by record tags, not by slot.
+        log::Rawl *marker = logs_->acquire(/*owner_hint=*/0);
+        marker->setSpaceWaiter([this] { truncator_->nudge(); });
+        combiner_ = std::make_unique<EpochCombiner>(marker, truncator_.get(),
+                                                    cfg_.epoch_max_batch);
+        truncator_->setCombiner(combiner_.get());
+    }
 
     {
         auto &shard = mgrRegistry().shardFor(mgrId_);
@@ -164,8 +176,26 @@ TxnManager::~TxnManager()
         shard.live.erase(mgrId_);
     }
     obs::StatsRegistry::instance().removeSource(statsSourceToken_);
+    // Retire every open epoch first so the gated truncation tasks all
+    // become eligible, then drain the worker.
+    if (combiner_)
+        combiner_->sync();
     if (truncator_)
         truncator_->drain();
+}
+
+void
+TxnManager::wait(CommitTicket t)
+{
+    if (combiner_ && t.pending())
+        combiner_->waitRetired(t.epoch);
+}
+
+void
+TxnManager::sync()
+{
+    if (combiner_)
+        combiner_->sync();
 }
 
 log::Rawl *
@@ -183,6 +213,11 @@ TxnManager::threadLog()
     if (!log) {
         log = acquireLog();
         leases.leases.push_back({mgrId_, log});
+        // A fresh lease means a new committer thread: the combiner's
+        // grace heuristic keys off how many exist (lease possession is
+        // the stable concurrency signal — see EpochCombiner).
+        if (combiner_)
+            combiner_->registerCommitter();
     }
     cached_mgr = mgrId_;
     cached_log = log;
@@ -205,14 +240,24 @@ TxnManager::acquireLog()
     // A producer stalled on this (full) log kicks the async truncator
     // instead of waiting out its poll interval.
     log->setSpaceWaiter([this] { truncator_->nudge(); });
+    // Member logs stage records with cached stores under group commit
+    // so the combiner's single fence can retire them (shared flush
+    // claims); streaming stores would only retire under the producer's
+    // own fence, which epoch mode never issues.
+    if (cfg_.group_commit)
+        log->setCachedAppends(true);
     return log;
 }
 
 void
 TxnManager::recycleLog(log::Rawl *log)
 {
-    std::lock_guard<std::mutex> g(freeMu_);
-    freeLogs_.push_back(log);
+    if (combiner_)
+        combiner_->unregisterCommitter();
+    {
+        std::lock_guard<std::mutex> g(freeMu_);
+        freeLogs_.push_back(log);
+    }
 }
 
 size_t
@@ -256,6 +301,10 @@ TxnManager::begin()
     }
     tx->begin(nextTxnId_.fetch_add(1, std::memory_order_relaxed),
               threadLog());
+    // Relaxed-durability default: atomic() commits async, callers use
+    // sync() as the durability barrier.  atomicAsync() overrides to
+    // true after begin() regardless.
+    tx->asyncCommit_ = cfg_.group_commit && cfg_.commit_async_default;
     return *tx;
 }
 
@@ -268,20 +317,30 @@ TxnManager::current()
     return it->second.get();
 }
 
-void
+uint64_t
 TxnManager::commit(Txn &tx)
 {
     assert(tx.active_);
     if (tx.depth_ > 1) {
         --tx.depth_;
-        return;
+        return 0; // durability rides the outermost commit
     }
-    tx.commit();
+    return tx.commit();
 }
 
 void
 TxnManager::backoff(int attempt)
 {
+    // With the combiner on, the lock we just lost to may belong to an
+    // async transaction that releases only at epoch retirement.  Drive
+    // a combine round from THIS thread — a conflict forces the epoch
+    // closed — so progress never depends on the truncator's poll (which
+    // may be paused, e.g. under the crash sweeper).  Then kick the
+    // truncator anyway so the retired epoch's log space is reclaimed.
+    if (combiner_) {
+        combiner_->tryAdvance();
+        truncator_->nudge();
+    }
     // Randomized exponential backoff after a conflict abort.
     thread_local std::mt19937_64 rng{std::random_device{}()};
     const uint64_t cap =
@@ -306,6 +365,10 @@ TxnManager::setTruncation(Truncation t)
 void
 TxnManager::drainTruncation()
 {
+    // Open epochs gate their truncation tasks; retire them first or the
+    // drain would wait on tasks that cannot become eligible.
+    if (combiner_)
+        combiner_->sync();
     if (truncator_)
         truncator_->drain();
 }

@@ -23,6 +23,7 @@
 namespace mnemosyne::mtm {
 
 class TruncationThread;
+class EpochCombiner;
 
 /** When modified data is forced to SCM and the log truncated. */
 enum class Truncation {
@@ -36,6 +37,31 @@ struct TxnConfig {
     size_t log_slot_bytes = 1 << 20;
     size_t lock_bits = 20;
     size_t max_backoff_us = 50;
+
+    /** Group commit: batch committing threads' records into fence
+     *  epochs — ONE fence per epoch instead of one per transaction
+     *  (group_commit.h).  Truncation always runs through the worker
+     *  thread when the combiner is on; the `truncation` knob then only
+     *  affects nothing-logged paths. */
+    bool group_commit = false;
+    size_t epoch_max_batch = 64;    ///< Seal when this many members join.
+    /** Epoch retirement latency bound for unwaited (async) tickets:
+     *  the truncator polls the combiner at this interval. */
+    uint64_t epoch_timeout_us = 100;
+    /** atomic() commits async by default (callers use sync()). */
+    bool commit_async_default = false;
+};
+
+/**
+ * Relaxed-durability handle from atomicAsync(): the transaction has
+ * committed logically; it is durable once its fence epoch retires.
+ * epoch == 0 means there is nothing to wait for (read-only or
+ * volatile-only transaction, or the combiner is off — the commit was
+ * durable on return).
+ */
+struct CommitTicket {
+    uint64_t epoch = 0;
+    bool pending() const { return epoch != 0; }
 };
 
 struct TxnStats {
@@ -97,11 +123,63 @@ class TxnManager
         }
     }
 
+    /**
+     * Run @p fn as a relaxed-durability transaction (`commit_async`):
+     * the commit is LOGICAL on return — values are locked-in and the
+     * transaction cannot abort anymore — and becomes durable when its
+     * fence epoch retires (at the latest one epoch timeout later).
+     * Wait on the returned ticket, or sync(), for durability.  With
+     * the combiner off this degrades to a normal durable commit and
+     * the ticket is already retired.
+     *
+     * Note the write-ahead consequence: the in-place write-back and
+     * stripe-lock release also happen at retirement, so a conflicting
+     * transaction started in the window aborts and retries (bounded by
+     * the epoch timeout).  Tickets are process-local and remain valid
+     * after the committing thread exits (epochs are manager state, and
+     * log leases are recycled, not torn down, on thread exit).
+     */
+    template <typename Fn>
+    CommitTicket
+    atomicAsync(Fn &&fn)
+    {
+        for (int attempt = 0;; ++attempt) {
+            Txn &tx = begin();
+            const bool outer = (tx.depth_ == 1);
+            if (outer)
+                tx.asyncCommit_ = true;
+            try {
+                fn(tx);
+                return CommitTicket{commit(tx)};
+            } catch (const TxnConflict &) {
+                if (!outer)
+                    throw;
+                nRetries_.add(1);
+                backoff(attempt);
+            } catch (...) {
+                if (outer && tx.active_)
+                    tx.rollback();
+                else if (!outer)
+                    --tx.depth_;
+                throw;
+            }
+        }
+    }
+
+    /** Block until @p t's epoch has retired (no-op for retired/empty
+     *  tickets). */
+    void wait(CommitTicket t);
+
+    /** Durability barrier: drain every open and in-flight epoch, so all
+     *  previously returned tickets are retired. */
+    void sync();
+
     /** Begin (or flat-nest into) this thread's transaction. */
     Txn &begin();
 
-    /** Commit the current transaction (or pop one nesting level). */
-    void commit(Txn &tx);
+    /** Commit the current transaction (or pop one nesting level).
+     *  Returns the epoch ticket (0 = durable on return). */
+    uint64_t commit(Txn &tx);
 
     /** The calling thread's active transaction, or nullptr. */
     Txn *current();
@@ -138,6 +216,10 @@ class TxnManager
     /** Logs currently parked in the free pool (tests). */
     size_t recycledLogCount() const;
 
+    /** The fence-epoch combiner, or nullptr when group_commit is off
+     *  (tests and the truncator's retirement poll). */
+    EpochCombiner *combiner() { return combiner_.get(); }
+
   private:
     friend class Txn;
 
@@ -156,6 +238,10 @@ class TxnManager
     alignas(64) std::atomic<uint64_t> clock_{0};
     alignas(64) std::atomic<uint64_t> nextTxnId_{1};
     std::unique_ptr<log::LogManager> logs_;
+    /** Declared before truncator_: the truncator's worker polls the
+     *  combiner (tryAdvance), so it must be destroyed FIRST (members
+     *  destroy in reverse declaration order). */
+    std::unique_ptr<EpochCombiner> combiner_;
     std::unique_ptr<TruncationThread> truncator_;
     const uint64_t mgrId_;
 

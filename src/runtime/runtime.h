@@ -116,6 +116,22 @@ class Runtime
         txns_->atomic(std::forward<Fn>(fn));
     }
 
+    /** Relaxed-durability `commit_async { ... }`: commits logically on
+     *  return; durable once the returned ticket's fence epoch retires
+     *  (wait on it, or sync()).  Requires txn.group_commit. */
+    template <typename Fn>
+    mtm::CommitTicket
+    atomicAsync(Fn &&fn)
+    {
+        return txns_->atomicAsync(std::forward<Fn>(fn));
+    }
+
+    /** Block until @p t's epoch has retired. */
+    void wait(mtm::CommitTicket t) { txns_->wait(t); }
+
+    /** Durability barrier for all previously returned tickets. */
+    void sync() { txns_->sync(); }
+
     /**
      * Crash-safe allocation for use around transactions: allocates into
      * this thread's next free persistent staging slot (up to
