@@ -283,6 +283,124 @@ runUpdateTxnMeasurement()
     return metrics;
 }
 
+/**
+ * The PR9 persist-path bandwidth measurements, both on exact emulator
+ * counters (immune to scheduler noise on a 1-CPU host):
+ *
+ *  - Log bytes per transaction on the 4-word clustered update shape
+ *    (one write() span), v1 vs the compact v2 record — the framed
+ *    rawl.append_words delta is everything the log stages, flushes, and
+ *    tornbit-restages.  Acceptance: v2 <= 0.65x v1.
+ *  - Truncator flushes per transaction on a hot-key shape (every txn
+ *    rewrites the same line), per-task write-back vs the batch-merged
+ *    dedup.  Acceptance: >= 2x reduction.
+ */
+std::vector<std::pair<std::string, double>>
+runPersistPathMeasurement()
+{
+    bench::header("Persist-path bandwidth (exact emulator counters)");
+    scm::ScmConfig cfg;
+    cfg.latency_mode = scm::LatencyMode::kNone;
+    cfg.failure_tracking = false;
+
+    std::vector<std::pair<std::string, double>> metrics;
+    const auto &reg = mnemosyne::obs::StatsRegistry::instance();
+
+    // --- Clustered-update log bytes, v1 vs v2 -------------------------
+    double bytes_per_txn[2] = {0, 0};
+    for (const bool compact : {false, true}) {
+        bench::ScratchDir dir(compact ? "persist_bytes_v2"
+                                      : "persist_bytes_v1");
+        scm::ScmContext ctx(cfg);
+        scm::setCtx(&ctx);
+        auto rtcfg = bench::paperRuntimeConfig(dir.path());
+        rtcfg.region.va_base += size_t(compact ? 96 : 80) << 30;
+        rtcfg.txn.compact_redo = compact;
+        mnemosyne::Runtime rt(rtcfg);
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "persist_arr", 4096 * sizeof(uint64_t), nullptr));
+        constexpr uint64_t kTxns = 20000;
+        auto clustered_txn = [&](uint64_t i) {
+            // One contiguous 4-word span — the structure-update shape.
+            uint64_t vals[4] = {i, i + 1, i + 2, i + 3};
+            rt.atomic([&](mnemosyne::mtm::Txn &tx) {
+                tx.write(&arr[(i * 4) % 4096], vals, sizeof(vals));
+            });
+        };
+        for (uint64_t i = 0; i < 512; ++i)
+            clustered_txn(i);
+        const std::string before = reg.jsonSnapshot();
+        for (uint64_t i = 0; i < kTxns; ++i)
+            clustered_txn(i);
+        const std::string after = reg.jsonSnapshot();
+        auto delta = [&](const char *key) {
+            return (bench::statValue(after, key) -
+                    bench::statValue(before, key)) / double(kTxns);
+        };
+        bytes_per_txn[compact] = 8.0 * delta("rawl.append_words");
+        if (compact) {
+            metrics.emplace_back("clustered_record_words_saved_per_txn",
+                                 delta("rawl.record_words_saved"));
+        }
+    }
+    metrics.emplace_back("clustered_log_bytes_per_txn_v1",
+                         bytes_per_txn[0]);
+    metrics.emplace_back("clustered_log_bytes_per_txn_v2",
+                         bytes_per_txn[1]);
+    const double bytes_ratio = bytes_per_txn[1] / bytes_per_txn[0];
+    metrics.emplace_back("clustered_log_bytes_v2_over_v1", bytes_ratio);
+    std::printf("clustered 4-word txn log bytes: v1 %.1f, v2 %.1f "
+                "(ratio %.3f)\n",
+                bytes_per_txn[0], bytes_per_txn[1], bytes_ratio);
+
+    // --- Hot-key truncation flushes, per-task vs batch dedup ----------
+    double flushes_per_txn[2] = {0, 0};
+    for (const bool dedup : {false, true}) {
+        bench::ScratchDir dir(dedup ? "persist_dedup_on"
+                                    : "persist_dedup_off");
+        scm::ScmContext ctx(cfg);
+        scm::setCtx(&ctx);
+        auto rtcfg = bench::paperRuntimeConfig(
+            dir.path(), mnemosyne::mtm::Truncation::kAsync);
+        rtcfg.region.va_base += size_t(dedup ? 128 : 112) << 30;
+        rtcfg.txn.trunc_batch_dedup = dedup;
+        mnemosyne::Runtime rt(rtcfg);
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "hotkey_arr", 64 * sizeof(uint64_t), nullptr));
+        constexpr uint64_t kTxns = 256;
+        // Quiesce the truncator, pile up one batch of hot-key tasks
+        // (every txn rewrites the same cache line), then drain it and
+        // count ONLY the truncator's flushes.
+        rt.txns().pauseTruncation();
+        for (uint64_t i = 0; i < kTxns; ++i) {
+            rt.atomic([&](mnemosyne::mtm::Txn &tx) {
+                for (int k = 0; k < 4; ++k)
+                    tx.writeT<uint64_t>(&arr[k], i + uint64_t(k));
+            });
+        }
+        const scm::ScmStats s0 = ctx.statsSnapshot();
+        rt.txns().resumeTruncation();
+        rt.txns().drainTruncation();
+        const scm::ScmStats s1 = ctx.statsSnapshot();
+        flushes_per_txn[dedup] =
+            double(s1.flushes - s0.flushes) / double(kTxns);
+    }
+    metrics.emplace_back("hotkey_trunc_flushes_per_txn_nodedup",
+                         flushes_per_txn[0]);
+    metrics.emplace_back("hotkey_trunc_flushes_per_txn_dedup",
+                         flushes_per_txn[1]);
+    const double factor = flushes_per_txn[1] > 0
+                              ? flushes_per_txn[0] / flushes_per_txn[1]
+                              : 0.0;
+    metrics.emplace_back("hotkey_trunc_dedup_factor", factor);
+    std::printf("hot-key truncation flushes/txn: per-task %.3f, batch "
+                "dedup %.4f (%.0fx)\n",
+                flushes_per_txn[0], flushes_per_txn[1], factor);
+
+    scm::setCtx(&env().ctx);
+    return metrics;
+}
+
 } // namespace
 
 int
@@ -293,7 +411,9 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    const auto metrics = runUpdateTxnMeasurement();
+    auto metrics = runUpdateTxnMeasurement();
+    const auto persist = runPersistPathMeasurement();
+    metrics.insert(metrics.end(), persist.begin(), persist.end());
     bench::emitStatsJson("txn_costs", metrics);
     return 0;
 }

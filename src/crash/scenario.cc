@@ -575,6 +575,162 @@ class GroupCommitScenario final : public Scenario
 };
 
 // ---------------------------------------------------------------------------
+// compact_redo / redo_v1 / compact_redo_gc: commit-record format
+// coverage.  Every transaction writes one clustered 3-word run (a
+// write() span) plus two scattered words on other cache lines — the
+// shape the compact (v2) record encodes as a multi-run varint stream
+// (redo_codec.h).  Transaction footprints are disjoint, so recovery
+// must land on an exact transaction prefix: any torn record, a
+// mis-decoded run, or a wrong base address shows up as a torn or
+// out-of-prefix transaction.  The three registered variants pin the
+// encoding knob (v2 default, v1 fallback) and run the v2 records
+// through the group-commit epoch path (kTagCommitEpochV2 gated on the
+// epoch marker).
+// ---------------------------------------------------------------------------
+
+class RedoShapeScenario : public Scenario
+{
+  public:
+    static constexpr size_t kTxns = 4;
+    static constexpr size_t kClustered = 3;   // contiguous words per txn
+    static constexpr size_t kScattered = 2;   // far words per txn
+    static constexpr size_t kScatterBase = kTxns * kClustered;
+    static constexpr size_t kWords = kTxns * (kClustered + kScattered);
+    static constexpr size_t kTxnsPerEpoch = 2; // group-commit variant
+
+    RedoShapeScenario(bool compact, bool gc) : compact_(compact), gc_(gc) {}
+
+    std::string
+    name() const override
+    {
+        return gc_ ? "compact_redo_gc"
+                   : (compact_ ? "compact_redo" : "redo_v1");
+    }
+
+    void
+    configure(RuntimeConfig &cfg) override
+    {
+        cfg.txn.compact_redo = compact_;
+        if (gc_) {
+            cfg.txn.group_commit = true;
+            // Larger than any batch below: epochs seal only at sync(),
+            // keeping the persistence-event sequence deterministic.
+            cfg.txn.epoch_max_batch = 64;
+        }
+    }
+
+    void
+    prepare(ScenarioEnv &env) override
+    {
+        words_ = static_cast<uint64_t *>(env.rt.regions().pstaticVar(
+            "sweep_redo_words", kWords * sizeof(uint64_t), nullptr));
+        if (gc_)
+            env.rt.txns().pauseTruncation(); // combine inline: determinism
+        env.rt.atomic([&](mtm::Txn &tx) {
+            for (size_t w = 0; w < kWords; ++w)
+                tx.writeT<uint64_t>(&words_[w], mixWord(0, w));
+        });
+    }
+
+    void
+    workload(ScenarioEnv &env) override
+    {
+        for (size_t t = 0; t < kTxns; ++t) {
+            auto body = [&](mtm::Txn &tx) {
+                // One contiguous run via a span write...
+                uint64_t buf[kClustered];
+                for (size_t i = 0; i < kClustered; ++i)
+                    buf[i] = mixWord(t + 1, t * kClustered + i);
+                tx.write(&words_[t * kClustered], buf, sizeof(buf));
+                // ...plus scattered single words on other lines.
+                for (size_t s = 0; s < kScattered; ++s) {
+                    const size_t w = kScatterBase + s * kTxns + t;
+                    tx.writeT<uint64_t>(&words_[w], mixWord(t + 1, w));
+                }
+            };
+            if (gc_) {
+                env.rt.atomicAsync(body);
+                if ((t + 1) % kTxnsPerEpoch == 0)
+                    env.rt.sync(); // seal the epoch
+            } else {
+                env.rt.atomic(body);
+                ++committed_;
+            }
+        }
+    }
+
+    std::string
+    verify(ScenarioEnv &env) override
+    {
+        auto *words = static_cast<uint64_t *>(env.rt.regions().pstaticVar(
+            "sweep_redo_words", kWords * sizeof(uint64_t), nullptr));
+        // Per-transaction all-or-nothing over disjoint footprints.
+        size_t applied_prefix = 0;
+        bool prefix_open = true;
+        for (size_t t = 0; t < kTxns; ++t) {
+            size_t hits = 0;
+            const size_t total = kClustered + kScattered;
+            for (size_t i = 0; i < kClustered; ++i)
+                if (words[t * kClustered + i] ==
+                    mixWord(t + 1, t * kClustered + i))
+                    ++hits;
+            for (size_t s = 0; s < kScattered; ++s) {
+                const size_t w = kScatterBase + s * kTxns + t;
+                if (words[w] == mixWord(t + 1, w))
+                    ++hits;
+            }
+            if (hits != 0 && hits != total) {
+                std::ostringstream os;
+                os << name() << ": torn txn " << t << ": " << hits << "/"
+                   << total << " words updated";
+                return os.str();
+            }
+            if (hits == total) {
+                if (!prefix_open) {
+                    std::ostringstream os;
+                    os << name() << ": txn " << t
+                       << " applied after an unapplied predecessor";
+                    return os.str();
+                }
+                ++applied_prefix;
+            } else {
+                prefix_open = false;
+            }
+        }
+        if (gc_) {
+            // Whole-epoch all-or-nothing: only epoch-multiple prefixes
+            // are legal images (a sync() that crashed mid-round may or
+            // may not have fenced its epoch, so any such prefix is).
+            if (applied_prefix % kTxnsPerEpoch != 0) {
+                std::ostringstream os;
+                os << name() << ": torn epoch: " << applied_prefix
+                   << " txns applied (not a multiple of "
+                   << kTxnsPerEpoch << ")";
+                return os.str();
+            }
+            return "";
+        }
+        // Synchronous commits: atomic() returning means durable, and at
+        // most the one in-flight transaction may additionally survive.
+        if (applied_prefix != committed_ &&
+            applied_prefix != committed_ + 1) {
+            std::ostringstream os;
+            os << name() << ": " << applied_prefix
+               << " txns applied, expected " << committed_ << " or "
+               << committed_ + 1;
+            return os.str();
+        }
+        return "";
+    }
+
+  private:
+    const bool compact_;
+    const bool gc_;
+    uint64_t *words_ = nullptr;
+    uint64_t committed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
 // bug_onefence: the deliberately broken protocol the sweeper must
 // catch.  Each group writes four payload words and a commit word with a
 // SINGLE trailing fence — omitting the ordering fence between payload
@@ -654,6 +810,18 @@ registerBuiltinScenarios()
     r.add("hash", [] { return std::make_unique<HashScenario>(); });
     r.add("group_commit",
           [] { return std::make_unique<GroupCommitScenario>(); });
+    r.add("compact_redo", [] {
+        return std::make_unique<RedoShapeScenario>(/*compact=*/true,
+                                                   /*gc=*/false);
+    });
+    r.add("redo_v1", [] {
+        return std::make_unique<RedoShapeScenario>(/*compact=*/false,
+                                                   /*gc=*/false);
+    });
+    r.add("compact_redo_gc", [] {
+        return std::make_unique<RedoShapeScenario>(/*compact=*/true,
+                                                   /*gc=*/true);
+    });
 }
 
 void

@@ -20,6 +20,11 @@ struct EpochCounters {
     obs::Counter seals{"mtm.epoch_seals"};
     obs::Counter members{"mtm.epoch_members"};
     obs::Counter async_commits{"mtm.epoch_async_commits"};
+    /** Record lines shared between members of one epoch and flushed
+     *  once instead of per member (adjacent records in a slot share
+     *  boundary lines; the Px86 shared-flush-claim rule makes the
+     *  single flush correct for every producer's cached stores). */
+    obs::Counter lines_deduped{"mtm.epoch_lines_deduped"};
     /** Members per sealed epoch — the fence-amortization factor. */
     obs::Histogram batch{"mtm.epoch_batch"};
     /** Sync-commit wait for epoch retirement (the fence is on another
@@ -202,9 +207,11 @@ EpochCombiner::combineRound(std::unique_lock<std::mutex> &g)
         for (const auto &m : members)
             m.log->linesFor(m.fromAbs, m.toAbs, lineScratch_);
         std::sort(lineScratch_.begin(), lineScratch_.end());
+        const size_t gathered = lineScratch_.size();
         lineScratch_.erase(
             std::unique(lineScratch_.begin(), lineScratch_.end()),
             lineScratch_.end());
+        ctrs().lines_deduped.add(gathered - lineScratch_.size());
         for (uintptr_t line : lineScratch_)
             c.flush(reinterpret_cast<const void *>(line));
 
@@ -240,7 +247,7 @@ EpochCombiner::combineRound(std::unique_lock<std::mutex> &g)
                 i = j;
             }
             truncator_->enqueue(TruncationThread::Task{
-                p.log, p.toAbs, std::move(p.dataLines), e});
+                p.log, p.toAbs, std::move(p.dataWords), e});
         }
     } catch (const scm::CrashNow &) {
         // Crash injection fired mid-round: the machine is dying, stop

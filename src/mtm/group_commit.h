@@ -76,7 +76,7 @@ class EpochCombiner
      *  in-place write-back, lock release, truncation enqueue. */
     struct Pending {
         std::vector<WriteSet::Item> items;   ///< Addr-sorted new values.
-        std::vector<uintptr_t> dataLines;    ///< Distinct dirty lines.
+        std::vector<uintptr_t> dataWords;    ///< Sorted dirty word addrs.
         std::vector<uintptr_t> lockSlots;    ///< Stripe locks to release.
         uint64_t ts;
         log::Rawl *log;

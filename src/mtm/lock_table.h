@@ -28,7 +28,7 @@ class LockTable
     using Word = std::atomic<uint64_t>;
 
     explicit LockTable(size_t bits = 20)
-        : mask_((size_t(1) << bits) - 1),
+        : shift_(64 - bits), mask_((size_t(1) << bits) - 1),
           locks_(new(std::align_val_t(64)) Word[size_t(1) << bits]())
     {
         // Contention audit: eight locks share each cache line, which is
@@ -45,9 +45,19 @@ class LockTable
     Word &
     lockFor(const void *addr)
     {
+        return locks_[indexFor(addr)];
+    }
+
+    /** Slot index of @p addr's lock (exposed for distribution tests). */
+    size_t
+    indexFor(const void *addr) const
+    {
         const auto a = reinterpret_cast<uintptr_t>(addr) >> 3;
-        // Multiplicative hash spreads adjacent stripes across the array.
-        return locks_[(a * 0x9e3779b97f4a7c15ULL >> 20) & mask_];
+        // Fibonacci multiplicative hash: the top `bits` product bits
+        // are the best-mixed, so the shift must track the table size —
+        // a fixed shift would select mid bits for any other size and
+        // silently degrade stripe distribution.
+        return (a * 0x9e3779b97f4a7c15ULL) >> shift_;
     }
 
     static bool isLocked(uint64_t v) { return v & 1; }
@@ -67,6 +77,7 @@ class LockTable
         }
     };
 
+    size_t shift_;
     size_t mask_;
     std::unique_ptr<Word[], AlignedDelete> locks_;
 };

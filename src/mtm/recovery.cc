@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "mtm/redo_codec.h"
 #include "mtm/txn.h"
 #include "scm/scm.h"
 
@@ -31,7 +32,7 @@ struct Marker {
 } // namespace
 
 RecoveryResult
-recoverTransactions(log::LogManager &logs)
+recoverTransactions(log::LogManager &logs, uintptr_t va_base)
 {
     RecoveryResult res;
     std::vector<ReplayTxn> committed;        // plain kTagCommit txns
@@ -70,6 +71,29 @@ recoverTransactions(log::LogManager &logs)
                     pending.emplace_back(rec[i], rec[i + 1]);
                 slotEpochTs[slot].insert(rec[1]);
                 epochTxns.push_back(ReplayTxn{rec[1], std::move(pending)});
+                pending.clear();
+            } else if (redo::isV2(rec[0])) {
+                // Compact (v2) record: varint run-length address
+                // stream, decoded against the region base.  Same
+                // replay semantics as its v1 twin — the epoch-tagged
+                // variant is gated on its epoch's marker.  RAWL
+                // framing is whole-record, so a surviving record
+                // decodes wholly; a decode failure is treated like a
+                // torn tail and discarded.
+                const bool epoch_rec = redo::isV2Epoch(rec[0]);
+                uint64_t ts = 0;
+                if (!redo::decodeV2(va_base, rec.data(), rec.size(), ts,
+                                    pending)) {
+                    res.torn_discarded++;
+                    pending.clear();
+                    continue;
+                }
+                if (epoch_rec) {
+                    slotEpochTs[slot].insert(ts);
+                    epochTxns.push_back(ReplayTxn{ts, std::move(pending)});
+                } else {
+                    committed.push_back(ReplayTxn{ts, std::move(pending)});
+                }
                 pending.clear();
             } else if (rec[0] == kTagEpoch && rec.size() >= 3) {
                 // Epoch marker (marker log).  RAWL framing is whole-

@@ -33,9 +33,12 @@ struct RecoveryResult {
 /**
  * Scan every active per-thread log of @p logs, gather completed
  * transactions, replay their writes in global timestamp order, force
- * them to SCM, and truncate all logs.
+ * them to SCM, and truncate all logs.  @p va_base is the persistent
+ * region base the compact (v2) records encode their addresses against
+ * (redo_codec.h); v1 records carry absolute addresses and ignore it.
  */
-RecoveryResult recoverTransactions(log::LogManager &logs);
+RecoveryResult recoverTransactions(log::LogManager &logs,
+                                   uintptr_t va_base);
 
 } // namespace mnemosyne::mtm
 

@@ -1,0 +1,240 @@
+#include "mtm/redo_codec.h"
+
+#include <cassert>
+
+namespace mnemosyne::mtm::redo {
+
+namespace {
+
+inline size_t
+varintLen(uint64_t v)
+{
+    size_t n = 1;
+    while (v >>= 7)
+        ++n;
+    return n;
+}
+
+/** Extra stream words needed after @p b stream bytes (the first 7 ride
+ *  in word 0 next to the tag). */
+inline size_t
+extraStreamWords(size_t b)
+{
+    return b <= 7 ? 0 : (b - 7 + 7) / 8;
+}
+
+/** Appends LEB128 bytes into the stream lanes of a record being built:
+ *  byte i lands in word 0 (bytes 1..7) for i < 7, then packs 8 per
+ *  word, growing the record vector on demand — the encoder is single-
+ *  pass, no sizing walk (commit is the hot path). */
+class StreamWriter
+{
+  public:
+    explicit StreamWriter(std::vector<uint64_t> &out) : out_(out) {}
+
+    void
+    putVarint(uint64_t v)
+    {
+        do {
+            uint8_t b = v & 0x7f;
+            v >>= 7;
+            if (v)
+                b |= 0x80;
+            putByte(b);
+        } while (v);
+    }
+
+  private:
+    void
+    putByte(uint8_t b)
+    {
+        size_t widx, shift;
+        if (nbytes_ < 7) {
+            widx = 0;
+            shift = 8 * (1 + nbytes_);
+        } else {
+            widx = 1 + (nbytes_ - 7) / 8;
+            shift = 8 * ((nbytes_ - 7) % 8);
+            if (widx == out_.size())
+                out_.push_back(0);
+        }
+        assert(widx < out_.size());
+        out_[widx] |= uint64_t(b) << shift;
+        ++nbytes_;
+    }
+
+    std::vector<uint64_t> &out_;
+    size_t nbytes_ = 0;
+};
+
+/** Reads the stream lanes of a record; bounds-checked against the
+ *  record extent (a malformed stream that runs into the value words is
+ *  caught by the termination balance check, one that runs off the
+ *  record entirely fails here). */
+class StreamReader
+{
+  public:
+    StreamReader(const uint64_t *rec, size_t n_words)
+        : rec_(rec), nWords_(n_words)
+    {
+    }
+
+    bool
+    getVarint(uint64_t &v)
+    {
+        v = 0;
+        for (int i = 0; i < 10; ++i) {
+            uint8_t b;
+            if (!getByte(b))
+                return false;
+            v |= uint64_t(b & 0x7f) << (7 * i);
+            if (!(b & 0x80))
+                return true;
+        }
+        return false; // varint longer than any uint64_t
+    }
+
+    size_t
+    streamWords() const
+    {
+        return extraStreamWords(nbytes_);
+    }
+
+  private:
+    bool
+    getByte(uint8_t &b)
+    {
+        size_t widx, shift;
+        if (nbytes_ < 7) {
+            widx = 0;
+            shift = 8 * (1 + nbytes_);
+        } else {
+            widx = 1 + (nbytes_ - 7) / 8;
+            shift = 8 * ((nbytes_ - 7) % 8);
+        }
+        if (widx >= nWords_)
+            return false;
+        b = uint8_t(rec_[widx] >> shift);
+        ++nbytes_;
+        return true;
+    }
+
+    const uint64_t *rec_;
+    const size_t nWords_;
+    size_t nbytes_ = 0;
+};
+
+/** Walk the run-length structure of a sorted item array, calling
+ *  fn(first_index, run_len, gap_words) per contiguous run (gap_words is
+ *  the word distance from the previous run's end; unused for the first
+ *  run). */
+template <typename Fn>
+inline void
+forEachRun(const WriteSet::Item *items, size_t n, Fn &&fn)
+{
+    size_t i = 0;
+    uintptr_t prev_end = 0;
+    while (i < n) {
+        size_t j = i + 1;
+        while (j < n && items[j].key == items[j - 1].key + 8)
+            ++j;
+        const uint64_t gap = i == 0 ? 0 : (items[i].key - prev_end) >> 3;
+        fn(i, j - i, gap);
+        prev_end = items[j - 1].key + 8;
+        i = j;
+    }
+}
+
+} // namespace
+
+size_t
+encodedWordsV2(uintptr_t va_base, uint64_t ts, const WriteSet::Item *items,
+               size_t n)
+{
+    assert(n >= 1 && items[0].key >= va_base);
+    size_t bytes = varintLen(ts) +
+                   varintLen((items[0].key - va_base) >> 3);
+    forEachRun(items, n, [&](size_t i, size_t len, uint64_t gap) {
+        if (i != 0)
+            bytes += varintLen(gap);
+        bytes += varintLen(len);
+    });
+    return 1 + extraStreamWords(bytes) + n;
+}
+
+void
+encodeV2(uintptr_t va_base, uint64_t ts, bool epoch_mode,
+         const WriteSet::Item *items, size_t n, std::vector<uint64_t> &out)
+{
+    assert(n >= 1 && items[0].key >= va_base);
+    out.clear();
+    out.push_back(epoch_mode ? kTagCommitEpochV2 : kTagCommitV2);
+
+    // Single pass: the varint stream grows the record as it goes, then
+    // the values land behind it.
+    StreamWriter w(out);
+    w.putVarint(ts);
+    w.putVarint((items[0].key - va_base) >> 3);
+    forEachRun(items, n, [&](size_t i, size_t len, uint64_t gap) {
+        if (i != 0)
+            w.putVarint(gap);
+        w.putVarint(uint64_t(len));
+    });
+
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(items[i].val);
+}
+
+bool
+decodeV2(uintptr_t va_base, const uint64_t *rec, size_t n_words,
+         uint64_t &ts, std::vector<std::pair<uint64_t, uint64_t>> &pairs)
+{
+    if (n_words < 2 || !isV2(rec[0]))
+        return false;
+
+    StreamReader r(rec, n_words);
+    uint64_t ts_v, rel, len0;
+    if (!r.getVarint(ts_v) || !r.getVarint(rel) || !r.getVarint(len0))
+        return false;
+    if (len0 == 0)
+        return false;
+
+    struct Run {
+        uintptr_t start;
+        uint64_t len;
+    };
+    std::vector<Run> runs;
+    runs.push_back(Run{va_base + uintptr_t(rel << 3), len0});
+    uint64_t total_vals = len0;
+
+    // Termination balance: stop once header + stream words + values
+    // account for the whole record.  The value total strictly grows per
+    // run while the stream-word count is monotone, so a well-formed
+    // record hits the equality exactly at its encoder's boundary; a
+    // malformed one overshoots and fails.
+    while (1 + r.streamWords() + total_vals != n_words) {
+        if (1 + r.streamWords() + total_vals > n_words)
+            return false;
+        uint64_t gap, len;
+        if (!r.getVarint(gap) || !r.getVarint(len))
+            return false;
+        if (gap == 0 || len == 0)
+            return false;
+        const Run &prev = runs.back();
+        runs.push_back(Run{prev.start + uintptr_t((prev.len + gap) << 3),
+                           len});
+        total_vals += len;
+    }
+
+    const size_t val_base = 1 + r.streamWords();
+    size_t vi = val_base;
+    for (const Run &run : runs) {
+        for (uint64_t k = 0; k < run.len; ++k, ++vi)
+            pairs.emplace_back(uint64_t(run.start) + 8 * k, rec[vi]);
+    }
+    assert(vi == n_words);
+    ts = ts_v;
+    return true;
+}
+
+} // namespace mnemosyne::mtm::redo

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compact (v2) redo-record encoding.
+ *
+ * The v1 commit record spends 16 bytes of log per buffered word — a full
+ * 8-byte address next to every 8-byte value — even though commit-time
+ * staging sorts the write set, so the addresses are a monotone sequence
+ * with heavy clustering (structure updates and write() memcpy spans are
+ * contiguous word runs).  The v2 record replaces the address column with
+ * a varint-compressed run-length stream:
+ *
+ *   word 0   byte 0: tag (kTagCommitV2 | kTagCommitEpochV2)
+ *            bytes 1..7: first 7 stream bytes
+ *   words 1..S: remaining stream bytes, little-endian packed, zero-padded
+ *   words S+1..: the values, in ascending address order
+ *
+ * The stream is a sequence of LEB128 varints (7 value bits per byte,
+ * high bit = continuation):
+ *
+ *   [ts] [rel_base] [len0] ([gap] [len])*
+ *
+ * where rel_base = (addr0 - va_base) >> 3 is the first written word
+ * relative to the persistent region base (small for the static region's
+ * pstatic variables), len0 >= 1 is the first contiguous run's length in
+ * words, and each further run is a gap >= 1 (words skipped from the
+ * previous run's end) and a length >= 1.
+ *
+ * There is no item count: the record is self-delimiting.  With R total
+ * record words and S(b) = extra stream words after b stream bytes
+ * (ceil(max(0, b-7)/8)), the decoder stops after the run that makes
+ *
+ *     1 + S(bytes consumed) + sum(len)  ==  R .
+ *
+ * The sum strictly increases per run while S is monotone, so the
+ * equality is reached exactly once — at the encoder's boundary — and
+ * never overshot by a well-formed record (decode fails otherwise).
+ *
+ * Tag dispatch is safe against every v1 record shape: v1 control tags
+ * are full-word values 1..4, and a spilled pair record begins with a
+ * word-aligned address whose low byte is a multiple of 8 — byte 0 of a
+ * record's first word equals 5 or 6 only for a v2 record.
+ *
+ * For the 4-word clustered update (the paper's structure-update shape)
+ * the payload drops from 10 words (v1: tag, ts, four address/value
+ * pairs) to 5 (tag+stream word, four values) — with RAWL tornbit
+ * framing, 12 staged words become 7.
+ */
+
+#ifndef MNEMOSYNE_MTM_REDO_CODEC_H_
+#define MNEMOSYNE_MTM_REDO_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mtm/write_set.h"
+
+namespace mnemosyne::mtm::redo {
+
+/** v2 record tags, in BYTE 0 of the record's first word (v1 tags are
+ *  full-word values; see txn.h LogTag). */
+enum V2Tag : uint8_t {
+    kTagCommitV2 = 5,
+    kTagCommitEpochV2 = 6,
+};
+
+/** Is @p word0 the first word of a v2 record? */
+inline bool
+isV2(uint64_t word0)
+{
+    const uint8_t b0 = uint8_t(word0);
+    return b0 == kTagCommitV2 || b0 == kTagCommitEpochV2;
+}
+
+inline bool
+isV2Epoch(uint64_t word0)
+{
+    return uint8_t(word0) == kTagCommitEpochV2;
+}
+
+/**
+ * Record words (header + stream + values) that encodeV2 would emit for
+ * @p n addr-sorted persistent items.  Pre: n >= 1, every key >= va_base.
+ */
+size_t encodedWordsV2(uintptr_t va_base, uint64_t ts,
+                      const WriteSet::Item *items, size_t n);
+
+/**
+ * Encode @p n addr-sorted, duplicate-free items as one v2 record into
+ * @p out (replaced, not appended).  Pre: n >= 1.
+ */
+void encodeV2(uintptr_t va_base, uint64_t ts, bool epoch_mode,
+              const WriteSet::Item *items, size_t n,
+              std::vector<uint64_t> &out);
+
+/**
+ * Decode a v2 record of @p n_words.  Appends the (addr, val) pairs to
+ * @p pairs and sets @p ts.  Returns false (leaving @p pairs in an
+ * unspecified appended state) if the record is malformed.
+ */
+bool decodeV2(uintptr_t va_base, const uint64_t *rec, size_t n_words,
+              uint64_t &ts, std::vector<std::pair<uint64_t, uint64_t>> &pairs);
+
+} // namespace mnemosyne::mtm::redo
+
+#endif // MNEMOSYNE_MTM_REDO_CODEC_H_

@@ -18,11 +18,30 @@ asyncTruncHist()
     return h;
 }
 
+struct TruncCounters {
+    /** Dirty words the cross-transaction batch merge collapsed (words
+     *  enqueued minus distinct words flushed) — the hot-key dedup win. */
+    obs::Counter words_deduped{"trunc.writeback_words_deduped"};
+    /** Cache lines the truncator actually flushed. */
+    obs::Counter lines_flushed{"trunc.lines_flushed"};
+};
+
+TruncCounters &
+tctrs()
+{
+    static TruncCounters c;
+    return c;
+}
+
+/** Touch at load so the trunc.* keys appear in every snapshot (live
+ *  schema checks rely on presence). */
+[[maybe_unused]] TruncCounters &gTruncCtrsEager = tctrs();
+
 } // namespace
 
-TruncationThread::TruncationThread(uint64_t poll_us)
+TruncationThread::TruncationThread(uint64_t poll_us, bool batch_dedup)
     : parentCtx_(&scm::ctx()), pollUs_(poll_us ? poll_us : 100),
-      worker_([this] { run(); })
+      batchDedup_(batch_dedup), worker_([this] { run(); })
 {
 }
 
@@ -96,6 +115,7 @@ TruncationThread::run()
     obs::setCurrentThreadName("async-trunc");
     std::vector<Task> batch;
     std::vector<log::Rawl *> consumed_logs;
+    std::vector<uintptr_t> word_scratch;
     for (;;) {
         batch.clear();
         bool stopping = false;
@@ -139,9 +159,62 @@ TruncationThread::run()
             try {
                 const uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
                 auto &c = scm::ctx();
-                for (const auto &t : batch)
-                    for (uintptr_t line : t.lines)
+                size_t flushed = 0;
+                if (batchDedup_) {
+                    // Cross-transaction dedup: merge every task's dirty
+                    // word set and flush each distinct line ONCE per
+                    // batch.  Correct under every persist mode because
+                    // the truncator never writes data — the committing
+                    // threads already wrote the words back in commit-ts
+                    // order (last writer won in memory), so one flush of
+                    // the merged line persists exactly the latest value,
+                    // and the single fence below still orders every
+                    // flush before every consumeTo (write-ahead: no
+                    // record is dropped before its data is durable).
+                    word_scratch.clear();
+                    size_t enqueued = 0;
+                    for (const auto &t : batch) {
+                        word_scratch.insert(word_scratch.end(),
+                                            t.words.begin(),
+                                            t.words.end());
+                        enqueued += t.words.size();
+                    }
+                    std::sort(word_scratch.begin(), word_scratch.end());
+                    word_scratch.erase(std::unique(word_scratch.begin(),
+                                                   word_scratch.end()),
+                                       word_scratch.end());
+                    tctrs().words_deduped.add(enqueued -
+                                              word_scratch.size());
+                    uintptr_t prev_line = 0;
+                    bool have_line = false;
+                    for (uintptr_t w : word_scratch) {
+                        const uintptr_t line = w & ~uintptr_t(63);
+                        if (have_line && line == prev_line)
+                            continue;
                         c.flush(reinterpret_cast<const void *>(line));
+                        ++flushed;
+                        prev_line = line;
+                        have_line = true;
+                    }
+                } else {
+                    // Per-task baseline: every transaction's lines are
+                    // flushed individually (coalesced only within the
+                    // task, since its words arrive sorted).
+                    for (const auto &t : batch) {
+                        uintptr_t prev_line = 0;
+                        bool have_line = false;
+                        for (uintptr_t w : t.words) {
+                            const uintptr_t line = w & ~uintptr_t(63);
+                            if (have_line && line == prev_line)
+                                continue;
+                            c.flush(reinterpret_cast<const void *>(line));
+                            ++flushed;
+                            prev_line = line;
+                            have_line = true;
+                        }
+                    }
+                }
+                tctrs().lines_flushed.add(flushed);
                 c.fence();
                 consumed_logs.clear();
                 for (size_t i = batch.size(); i-- > 0;) {

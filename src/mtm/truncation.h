@@ -35,7 +35,11 @@ class TruncationThread
     struct Task {
         log::Rawl *log;
         uint64_t consumeTo;                 ///< Log position after the txn.
-        std::vector<uintptr_t> lines;       ///< Distinct cache lines to force.
+        /** Sorted dirty persistent word addresses.  Word (not line)
+         *  granularity so the batch drain can merge tasks and account
+         *  for exactly how many words the cross-transaction dedup
+         *  collapsed before flushing each distinct line once. */
+        std::vector<uintptr_t> words;
         /** Fence epoch gating this task: it may only be processed once
          *  the epoch has retired (the record's fence has happened) —
          *  otherwise the truncator could flush the in-place data,
@@ -47,7 +51,12 @@ class TruncationThread
         uint64_t epoch = 0;
     };
 
-    explicit TruncationThread(uint64_t poll_us = 100);
+    /** @p batch_dedup merges the drained batch's word sets and flushes
+     *  each distinct line once per batch (hot keys: O(dirty lines)
+     *  flushes instead of O(txns)); off, every task flushes its own
+     *  lines — the pre-dedup baseline, kept for A/B measurement. */
+    explicit TruncationThread(uint64_t poll_us = 100,
+                              bool batch_dedup = true);
     ~TruncationThread();
 
     /** Install the combiner the worker polls for epoch retirement
@@ -91,6 +100,7 @@ class TruncationThread
     scm::ScmContext *parentCtx_;
 
     const uint64_t pollUs_;
+    const bool batchDedup_;
     EpochCombiner *combiner_ = nullptr;
 
     std::mutex mu_;

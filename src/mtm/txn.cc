@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "mtm/group_commit.h"
+#include "mtm/redo_codec.h"
 #include "mtm/truncation.h"
 #include "mtm/txn_manager.h"
 #include "obs/hdr_histogram.h"
@@ -22,6 +23,20 @@ redoWordsCtr()
     static obs::Counter c{"mtm.redo_words"};
     return c;
 }
+
+/** Log words the compact (v2) encoding saved versus what the v1 record
+ *  shape would have appended for the same write set — the bandwidth
+ *  win, measured at the source. */
+obs::Counter &
+wordsSavedCtr()
+{
+    static obs::Counter c{"rawl.record_words_saved"};
+    return c;
+}
+
+/** Touch at load so the key appears in every snapshot even when the
+ *  compact encoding is off (live schema checks rely on presence). */
+[[maybe_unused]] obs::Counter &gWordsSavedEager = wordsSavedCtr();
 
 obs::Histogram &
 syncTruncHist()
@@ -288,25 +303,21 @@ void
 Txn::stageAndAppendRedo(uint64_t ts, bool epoch_mode)
 {
     // Per-transaction log staging: the whole redo — commit timestamp
-    // plus every persistent (addr, val) pair — travels to the RAWL as
-    // ONE record, so the header word and tornbit restaging are paid once
-    // per transaction instead of once per store.  redoScratch_ was
-    // filled by commit(): [tag, ts-placeholder, pairs...].
+    // plus every persistent buffered word — travels to the RAWL as ONE
+    // record, so the header word and tornbit restaging are paid once
+    // per transaction instead of once per store.  commit() filled
+    // persistScratch_ with the addr-sorted persistent items; the record
+    // format is either v1 ([tag, ts, (addr, val)...]) or the compact v2
+    // shape (redo_codec.h), which drops the address column for a varint
+    // run-length stream.
     //
-    // Under group commit the record is tagged kTagCommitEpoch and left
-    // UNFENCED: the epoch combiner flushes its lines and fences the
-    // whole batch (the log itself staged the words with cached stores,
-    // see Rawl::setCachedAppends).  Recovery then replays the txn only
-    // if its epoch's marker proves the batch fence happened.
-    const uint64_t tag = epoch_mode ? kTagCommitEpoch : kTagCommit;
-    redoScratch_[0] = tag;
-    redoScratch_[1] = ts;
-    redoWordsCtr().add(redoScratch_.size() - 2);
-    if (flightDetail_) {
-        flightDetail_->redo_words += uint32_t(redoScratch_.size() - 2);
-        flightDetail_->log_bytes +=
-            uint32_t(redoScratch_.size() * sizeof(uint64_t));
-    }
+    // Under group commit the record is epoch-tagged and left UNFENCED:
+    // the epoch combiner flushes its lines and fences the whole batch
+    // (the log itself staged the words with cached stores, see
+    // Rawl::setCachedAppends).  Recovery then replays the txn only if
+    // its epoch's marker proves the batch fence happened.
+    const size_t n = persistScratch_.size();
+    redoWordsCtr().add(2 * n);
 
     // Records are additionally capped well below a large log's capacity:
     // the tornbit restaging buffer stays cache-sized, and a chunk is
@@ -315,29 +326,84 @@ Txn::stageAndAppendRedo(uint64_t ts, bool epoch_mode)
     const size_t max_rec = std::min(
         log::Rawl::maxRecordWords(log_->capacityWords()), kMaxStagedWords);
     assert(max_rec >= 4 && "log slot too small for any transaction");
+    size_t appended = 0;
     {
         obs::SpanScope append_span(flightDetail_, obs::Span::kLogAppend);
-        if (redoScratch_.size() <= max_rec) {
-            log_->append(redoScratch_.data(), redoScratch_.size());
-        } else {
-            // Oversized transaction: spill leading pair chunks as plain
-            // records, then fold the tail into the commit record.
-            // Recovery buffers pair records until the commit record
-            // arrives (and discards them if it never does).
-            const size_t chunk = (max_rec - 2) & ~size_t(1);
-            size_t pos = 2;
-            size_t remaining = redoScratch_.size() - 2;
-            while (remaining + 2 > max_rec) {
-                log_->append(&redoScratch_[pos], chunk);
-                pos += chunk;
-                remaining -= chunk;
+        if (mgr_.cfg_.compact_redo) {
+            const uintptr_t va_base = mgr_.rl_.manager().vaBase();
+            const WriteSet::Item *items = persistScratch_.data();
+            // Hot path: encode straight away (single pass) and check
+            // the size after — almost no transaction is oversized.
+            redo::encodeV2(va_base, ts, epoch_mode, items, n,
+                           redoScratch_);
+            size_t start = 0;
+            if (redoScratch_.size() > max_rec) [[unlikely]] {
+                // Oversized transaction: spill leading chunks as plain
+                // (addr, val) pair records until the compact tail fits
+                // one record.  Recovery buffers pair records until the
+                // commit record arrives (and discards them if it never
+                // does).
+                size_t rec_words =
+                    redo::encodedWordsV2(va_base, ts, items, n);
+                while (rec_words > max_rec) {
+                    const size_t chunk =
+                        std::min((max_rec - 2) / 2, n - start - 1);
+                    redoScratch_.clear();
+                    for (size_t i = start; i < start + chunk; ++i) {
+                        redoScratch_.push_back(items[i].key);
+                        redoScratch_.push_back(items[i].val);
+                    }
+                    log_->append(redoScratch_.data(), redoScratch_.size());
+                    appended += redoScratch_.size();
+                    start += chunk;
+                    rec_words = redo::encodedWordsV2(
+                        va_base, ts, items + start, n - start);
+                }
+                redo::encodeV2(va_base, ts, epoch_mode, items + start,
+                               n - start, redoScratch_);
             }
-            // The commit header slides down next to the tail pairs so
-            // the final append stays one contiguous range.
-            redoScratch_[pos - 2] = tag;
-            redoScratch_[pos - 1] = ts;
-            log_->append(&redoScratch_[pos - 2], remaining + 2);
+            log_->append(redoScratch_.data(), redoScratch_.size());
+            appended += redoScratch_.size();
+            // The v1 shape appends exactly 2 + 2n words for any spill
+            // split; the difference is the bandwidth this txn saved.
+            if (appended < 2 + 2 * n)
+                wordsSavedCtr().add(2 + 2 * n - appended);
+        } else {
+            const uint64_t tag = epoch_mode ? kTagCommitEpoch : kTagCommit;
+            redoScratch_.clear();
+            redoScratch_.reserve(2 + 2 * n);
+            redoScratch_.push_back(tag);
+            redoScratch_.push_back(ts);
+            for (const auto &it : persistScratch_) {
+                redoScratch_.push_back(it.key);
+                redoScratch_.push_back(it.val);
+            }
+            appended = redoScratch_.size();
+            if (redoScratch_.size() <= max_rec) {
+                log_->append(redoScratch_.data(), redoScratch_.size());
+            } else {
+                // Oversized transaction: spill leading pair chunks as
+                // plain records, then fold the tail into the commit
+                // record.
+                const size_t chunk = (max_rec - 2) & ~size_t(1);
+                size_t pos = 2;
+                size_t remaining = redoScratch_.size() - 2;
+                while (remaining + 2 > max_rec) {
+                    log_->append(&redoScratch_[pos], chunk);
+                    pos += chunk;
+                    remaining -= chunk;
+                }
+                // The commit header slides down next to the tail pairs
+                // so the final append stays one contiguous range.
+                redoScratch_[pos - 2] = tag;
+                redoScratch_[pos - 1] = ts;
+                log_->append(&redoScratch_[pos - 2], remaining + 2);
+            }
         }
+    }
+    if (flightDetail_) {
+        flightDetail_->redo_words += uint32_t(2 * n);
+        flightDetail_->log_bytes += uint32_t(appended * sizeof(uint64_t));
     }
     if (epoch_mode)
         return; // the epoch fence is the durability point
@@ -403,19 +469,17 @@ Txn::commit()
                       return a.key < b.key;
                   });
         lineScratch_.clear();
-        redoScratch_.clear();
-        redoScratch_.resize(2); // [kTagCommit, ts] patched in staging
+        persistScratch_.clear();
         for (const auto &it : sortScratch_) {
             if (mgr_.rl_.isPersistent(reinterpret_cast<void *>(it.key))) {
-                redoScratch_.push_back(it.key);
-                redoScratch_.push_back(it.val);
+                persistScratch_.push_back(it);
                 const uintptr_t line = it.key & ~uintptr_t(63);
                 if (lineScratch_.empty() || lineScratch_.back() != line)
                     lineScratch_.push_back(line);
             }
         }
     }
-    const bool logged = redoScratch_.size() > 2;
+    const bool logged = !persistScratch_.empty();
     EpochCombiner *comb = logged ? mgr_.combiner_.get() : nullptr;
     uint64_t epoch = 0;
 
@@ -436,7 +500,9 @@ Txn::commit()
                 // conflicting transactions abort and retry.
                 EpochCombiner::Pending p;
                 p.items = std::move(sortScratch_);
-                p.dataLines.assign(lineScratch_.begin(), lineScratch_.end());
+                p.dataWords.reserve(persistScratch_.size());
+                for (const auto &it : persistScratch_)
+                    p.dataWords.push_back(it.key);
                 p.lockSlots.reserve(lockPrev_.size());
                 for (const auto &it : lockPrev_)
                     p.lockSlots.push_back(uintptr_t(it.key));
@@ -505,11 +571,12 @@ Txn::commit()
             // fence the epoch just amortized away.  The task is gated
             // on its epoch (already retired on this path, so it is
             // immediately eligible).
+            std::vector<uintptr_t> words;
+            words.reserve(persistScratch_.size());
+            for (const auto &it : persistScratch_)
+                words.push_back(it.key);
             mgr_.truncator_->enqueue(TruncationThread::Task{
-                log_, log_->tailAbs(),
-                std::vector<uintptr_t>(lineScratch_.begin(),
-                                       lineScratch_.end()),
-                epoch});
+                log_, log_->tailAbs(), std::move(words), epoch});
         } else if (mgr_.cfg_.truncation == Truncation::kSync) {
             // Synchronous truncation: force new values to memory during
             // commit, then drop the whole per-thread log.  The head
@@ -533,10 +600,12 @@ Txn::commit()
                 flightDetail_->fences += 1;
             }
         } else {
+            std::vector<uintptr_t> words;
+            words.reserve(persistScratch_.size());
+            for (const auto &it : persistScratch_)
+                words.push_back(it.key);
             mgr_.truncator_->enqueue(TruncationThread::Task{
-                log_, log_->tailAbs(),
-                std::vector<uintptr_t>(lineScratch_.begin(),
-                                       lineScratch_.end())});
+                log_, log_->tailAbs(), std::move(words)});
         }
     }
 

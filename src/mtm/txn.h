@@ -67,6 +67,11 @@ struct TxnConflict {
  *                                           only if its epoch's marker
  *                                           proves the epoch fenced
  *    [kTagEpoch, e, n, (slot, to, ts)*n]    epoch marker (marker log)
+ *
+ *  Compact (v2) commit records carry their tag in byte 0 of the first
+ *  word (kTagCommitV2 / kTagCommitEpochV2, redo_codec.h) and compress
+ *  the address column into a varint run-length stream; replay
+ *  semantics match their v1 twins.
  */
 enum LogTag : uint64_t {
     kTagCommit = 1,
@@ -168,6 +173,7 @@ class Txn
     // Reusable commit-path scratch: commit allocates nothing once these
     // reach their high-water capacity.
     std::vector<WriteSet::Item> sortScratch_;   ///< Write set, addr-sorted.
+    std::vector<WriteSet::Item> persistScratch_; ///< Persistent subset.
     std::vector<uintptr_t> lineScratch_;        ///< Distinct dirty lines.
     std::vector<uint64_t> runScratch_;          ///< Contiguous write-back run.
     std::vector<uint64_t> redoScratch_;         ///< Staged log record.

@@ -114,7 +114,8 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
             throw std::runtime_error("TxnManager: corrupt log region");
         // Replay all completed but not flushed transactions (the
         // reincarnation step of section 6.3.2).
-        const auto res = recoverTransactions(*logs_);
+        const auto res =
+            recoverTransactions(*logs_, rl.manager().vaBase());
         nReplayed_ = res.committed_replayed;
         clock_.store(res.max_ts, std::memory_order_release);
         // The previous run's (now empty) logs are released so slots do
@@ -125,7 +126,8 @@ TxnManager::TxnManager(region::RegionLayer &rl, TxnConfig cfg)
         for (auto *log : stale)
             logs_->release(log);
     }
-    truncator_ = std::make_unique<TruncationThread>(cfg_.epoch_timeout_us);
+    truncator_ = std::make_unique<TruncationThread>(cfg_.epoch_timeout_us,
+                                                    cfg_.trunc_batch_dedup);
     if (cfg_.group_commit) {
         // The marker log is an ordinary slot; it stays on streaming
         // appends (the combiner fences its own marker stream).  It is

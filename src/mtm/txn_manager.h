@@ -38,6 +38,16 @@ struct TxnConfig {
     size_t lock_bits = 20;
     size_t max_backoff_us = 50;
 
+    /** Compact (v2) redo records: varint run-length address stream
+     *  instead of a full 8-byte address per value (redo_codec.h).
+     *  Recovery always understands both formats; the knob exists for
+     *  A/B bandwidth measurement and as a fallback. */
+    bool compact_redo = true;
+    /** Cross-transaction write-back dedup in the truncator: merge the
+     *  drained batch's dirty-word sets and flush each distinct line
+     *  once per batch instead of once per task (truncation.cc). */
+    bool trunc_batch_dedup = true;
+
     /** Group commit: batch committing threads' records into fence
      *  epochs — ONE fence per epoch instead of one per transaction
      *  (group_commit.h).  Truncation always runs through the worker

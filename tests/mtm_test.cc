@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <random>
 #include <thread>
@@ -63,7 +64,9 @@ pvar(Runtime &rt, const std::string &name)
 }
 
 /** One-shot crash injector: fires once at the given event, then lets
- *  unwinding code proceed (its writes are dropped by crash()). */
+ *  unwinding code proceed (its writes are dropped by crash()).  The
+ *  hook can fire on any thread that drives the emulator (e.g. the
+ *  truncator), so the one-shot latch is atomic. */
 class CrashAt
 {
   public:
@@ -71,18 +74,18 @@ class CrashAt
     {
         c_.setWriteHook([this, at](uint64_t n, scm::ScmContext::Event,
                                    const void *, size_t) {
-            if (!fired_ && n >= at) {
-                fired_ = true;
+            if (!fired_.load(std::memory_order_relaxed) && n >= at) {
+                fired_.store(true, std::memory_order_relaxed);
                 throw scm::CrashNow{n};
             }
         });
     }
     ~CrashAt() { c_.setWriteHook(nullptr); }
-    bool fired() const { return fired_; }
+    bool fired() const { return fired_.load(std::memory_order_relaxed); }
 
   private:
     scm::ScmContext &c_;
-    bool fired_ = false;
+    std::atomic<bool> fired_{false};
 };
 
 } // namespace
@@ -549,6 +552,191 @@ TEST(Mtm, OversizedTxnSpillsAndRecovers)
         "spill_arr", kWords * sizeof(uint64_t), nullptr));
     for (size_t i = 0; i < kWords; ++i)
         ASSERT_EQ(arr[i], i * 3 + 1) << "word " << i;
+}
+
+TEST(Mtm, OversizedTxnSpillsAndRecoversBothFormats)
+{
+    // The spill path pinned to each record format explicitly (the
+    // un-suffixed test above runs whatever the default is): leading
+    // chunks go out as plain pair records, the tail as a v1 or compact
+    // v2 commit record; recovery stitches them back together.
+    for (const bool compact : {false, true}) {
+        TempDir dir;
+        constexpr size_t kWords = 2600; // v1 redo = 5202 words > 4096 cap
+        {
+            scm::ScmContext c(scmCfg());
+            scm::ScopedCtx guard(c);
+            auto cfg = rtCfg(dir.path(), mtm::Truncation::kAsync);
+            cfg.txn.compact_redo = compact;
+            Runtime rt(cfg);
+            auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+                "spill_fmt_arr", kWords * sizeof(uint64_t), nullptr));
+            rt.txns().pauseTruncation();
+            rt.atomic([&](mtm::Txn &tx) {
+                for (size_t i = 0; i < kWords; ++i)
+                    tx.writeT<uint64_t>(&arr[i], i * 5 + 2);
+            });
+            c.crash(true);
+        }
+        scm::ScmContext c2(scmCfg());
+        scm::ScopedCtx guard2(c2);
+        Runtime rt(rtCfg(dir.path()));
+        EXPECT_EQ(rt.txns().stats().replayed_txns, 1u)
+            << "compact=" << compact;
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "spill_fmt_arr", kWords * sizeof(uint64_t), nullptr));
+        for (size_t i = 0; i < kWords; ++i)
+            ASSERT_EQ(arr[i], i * 5 + 2)
+                << "word " << i << " compact=" << compact;
+    }
+}
+
+TEST(Mtm, RedoFormatDifferentialFuzz)
+{
+    // v1 and v2 are two encodings of the same redo: run an identical
+    // randomized transaction sequence under each format, crash, and
+    // recovery must replay BYTE-IDENTICAL images.  Shapes mix clustered
+    // span writes with scattered single-word updates.
+    constexpr size_t kWords = 256;
+    constexpr int kTxns = 12;
+    for (uint64_t seed = 0; seed < 4; ++seed) {
+        std::vector<std::vector<uint64_t>> images;
+        for (const bool compact : {false, true}) {
+            TempDir dir;
+            {
+                scm::ScmContext c(scmCfg());
+                scm::ScopedCtx guard(c);
+                auto cfg = rtCfg(dir.path(), mtm::Truncation::kAsync);
+                cfg.txn.compact_redo = compact;
+                Runtime rt(cfg);
+                auto *arr = static_cast<uint64_t *>(
+                    rt.regions().pstaticVar("diff_arr",
+                                            kWords * sizeof(uint64_t),
+                                            nullptr));
+                rt.txns().pauseTruncation();
+                std::mt19937_64 rng(seed * 7919 + 13);
+                for (int t = 0; t < kTxns; ++t) {
+                    const uint64_t span_base = rng() % (kWords - 8);
+                    const uint64_t span_len = 1 + rng() % 7;
+                    uint64_t scattered[4];
+                    for (auto &s : scattered)
+                        s = rng() % kWords;
+                    uint64_t vals[12];
+                    for (auto &v : vals)
+                        v = rng();
+                    rt.atomic([&](mtm::Txn &tx) {
+                        tx.write(&arr[span_base], vals,
+                                 span_len * sizeof(uint64_t));
+                        for (int k = 0; k < 4; ++k)
+                            tx.writeT<uint64_t>(&arr[scattered[k]],
+                                                vals[8 + k % 4]);
+                    });
+                }
+                c.crash(true);
+            }
+            scm::ScmContext c2(scmCfg());
+            scm::ScopedCtx guard2(c2);
+            Runtime rt(rtCfg(dir.path()));
+            EXPECT_EQ(rt.txns().stats().replayed_txns, unsigned(kTxns))
+                << "seed=" << seed << " compact=" << compact;
+            auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+                "diff_arr", kWords * sizeof(uint64_t), nullptr));
+            images.emplace_back(arr, arr + kWords);
+        }
+        ASSERT_EQ(images[0], images[1]) << "seed=" << seed;
+    }
+}
+
+TEST(Mtm, TornTailRecoveryPrefixBothFormats)
+{
+    // Crash MID-APPEND of the last transaction's commit record: the
+    // tornbit scan must drop the partial record, and recovery replays
+    // either the 6 completed transactions or all 7 (the in-flight one
+    // may have reached its durability point) — never a torn mix.
+    constexpr size_t kWords = 64;
+    constexpr int kDone = 6;
+    auto image = [&](int txns) {
+        std::vector<uint64_t> v(kWords, 0);
+        for (int t = 0; t < txns; ++t)
+            for (size_t i = t; i < size_t(t) + 9 && i < kWords; ++i)
+                v[i] = uint64_t(t) * 4096 + i + 1;
+        return v;
+    };
+    for (const bool compact : {false, true}) {
+        TempDir dir;
+        {
+            scm::ScmContext c(scmCfg());
+            scm::ScopedCtx guard(c);
+            auto cfg = rtCfg(dir.path(), mtm::Truncation::kAsync);
+            cfg.txn.compact_redo = compact;
+            Runtime rt(cfg);
+            auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+                "torn_arr", kWords * sizeof(uint64_t), nullptr));
+            rt.txns().pauseTruncation();
+            auto body = [&](int t) {
+                return [&, t](mtm::Txn &tx) {
+                    for (size_t i = t; i < size_t(t) + 9 && i < kWords;
+                         ++i)
+                        tx.writeT<uint64_t>(&arr[i],
+                                            uint64_t(t) * 4096 + i + 1);
+                };
+            };
+            for (int t = 0; t < kDone; ++t)
+                rt.atomic(body(t));
+            bool crashed = false;
+            try {
+                CrashAt crash(c, c.eventCount() + 2);
+                rt.atomic(body(kDone));
+            } catch (const scm::CrashNow &) {
+                crashed = true;
+            }
+            ASSERT_TRUE(crashed);
+            c.crash(true);
+        }
+        scm::ScmContext c2(scmCfg());
+        scm::ScopedCtx guard2(c2);
+        Runtime rt(rtCfg(dir.path()));
+        auto *arr = static_cast<uint64_t *>(rt.regions().pstaticVar(
+            "torn_arr", kWords * sizeof(uint64_t), nullptr));
+        const std::vector<uint64_t> got(arr, arr + kWords);
+        EXPECT_TRUE(got == image(kDone) || got == image(kDone + 1))
+            << "compact=" << compact << ": image is neither the "
+            << kDone << "-txn nor the " << (kDone + 1) << "-txn prefix";
+    }
+}
+
+TEST(Mtm, LockTableHashDistributionTracksTableSize)
+{
+    // The stripe hash must select the TOP product bits for whatever the
+    // table size is (a fixed shift mixes mid bits and silently degrades
+    // non-default sizes).  Check spread for several sizes and strides:
+    // sequential words, line-strided, and page-strided addresses.
+    for (const size_t bits : {12u, 16u, 20u}) {
+        mtm::LockTable lt(bits);
+        const size_t size = lt.size();
+        ASSERT_EQ(size, size_t(1) << bits);
+        for (const size_t stride : {8u, 64u, 4096u}) {
+            const size_t n = 4 * size;
+            std::vector<uint32_t> loads(size, 0);
+            uintptr_t a = 0x004000000000ULL;
+            size_t nonzero = 0;
+            uint32_t max_load = 0;
+            for (size_t i = 0; i < n; ++i, a += stride) {
+                const size_t idx =
+                    lt.indexFor(reinterpret_cast<const void *>(a));
+                ASSERT_LT(idx, size);
+                if (loads[idx]++ == 0)
+                    ++nonzero;
+                max_load = std::max(max_load, loads[idx]);
+            }
+            // Mean load is 4; a healthy multiplicative hash stays
+            // within a small factor and touches most of the table.
+            EXPECT_LE(max_load, 16u)
+                << "bits=" << bits << " stride=" << stride;
+            EXPECT_GE(nonzero, size / 2)
+                << "bits=" << bits << " stride=" << stride;
+        }
+    }
 }
 
 TEST(Mtm, ThreadChurnRecyclesLogSlots)
