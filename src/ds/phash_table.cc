@@ -69,51 +69,125 @@ PHashTable::makeNode(std::string_view key, std::string_view value)
     return node;
 }
 
+PHashTable::ChainPos
+PHashTable::findTx(mtm::Txn &tx, Node **bucket, uint64_t h,
+                   std::string_view key)
+{
+    Node *prev = nullptr;
+    Node *cur = tx.readT<Node *>(bucket);
+    while (cur != nullptr) {
+        const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
+        const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
+        if (chash == h && cklen == key.size()) {
+            std::string k(cklen, 0);
+            tx.read(k.data(), cur->kv, cklen);
+            if (k == key)
+                return {cur, prev};
+        }
+        prev = cur;
+        cur = tx.readT<Node *>(&cur->next);
+    }
+    return {nullptr, prev};
+}
+
+bool
+PHashTable::putInPlaceTx(mtm::Txn &tx, std::string_view key,
+                         std::string_view value)
+{
+    // In-place overwrite only works when the value bytes go through the
+    // transaction (redo-logged); in the streaming ablation mode the
+    // node may be shared, so a raw overwrite would be non-atomic.
+    if (!instrumentedValues_)
+        return false;
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    ChainPos pos = findTx(tx, bucket, h, key);
+    if (pos.node == nullptr ||
+        tx.readT<uint32_t>(&pos.node->vlen) != value.size())
+        return false;
+    tx.write(pos.node->kv + key.size(), value.data(), value.size());
+    return true;
+}
+
 void
-PHashTable::put(std::string_view key, std::string_view value)
+PHashTable::putTx(mtm::Txn &tx, std::string_view key, std::string_view value)
 {
     const uint64_t h = hashOf(key);
     Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
 
+    ChainPos pos = findTx(tx, bucket, h, key);
+    if (pos.node != nullptr && instrumentedValues_ &&
+        tx.readT<uint32_t>(&pos.node->vlen) == value.size()) {
+        // Same-length replace: overwrite the value in place — no
+        // allocation, no free, just redo-logged value bytes.
+        tx.write(pos.node->kv + key.size(), value.data(), value.size());
+        return;
+    }
+
+    Node *node = makeNode(key, value);
+    if (instrumentedValues_) {
+        tx.write(node->kv, key.data(), key.size());
+        tx.write(node->kv + key.size(), value.data(), value.size());
+    }
+    if (pos.node != nullptr) {
+        // Replace: splice the new node in place of the old one.
+        tx.writeT<Node *>(&node->next, tx.readT<Node *>(&pos.node->next));
+        if (pos.prev) {
+            tx.writeT<Node *>(&pos.prev->next, node);
+        } else {
+            tx.writeT<Node *>(bucket, node);
+        }
+        rt_.stageFree(tx, pos.node);
+    } else {
+        tx.writeT<Node *>(&node->next, tx.readT<Node *>(bucket));
+        tx.writeT<Node *>(bucket, node);
+        tx.writeT<uint64_t>(&hdr_->count,
+                            tx.readT<uint64_t>(&hdr_->count) + 1);
+    }
+}
+
+bool
+PHashTable::getTx(mtm::Txn &tx, std::string_view key, std::string *value)
+{
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    ChainPos pos = findTx(tx, bucket, h, key);
+    if (pos.node == nullptr)
+        return false;
+    if (value) {
+        const uint32_t vlen = tx.readT<uint32_t>(&pos.node->vlen);
+        value->resize(vlen);
+        tx.read(value->data(), pos.node->kv + key.size(), vlen);
+    }
+    return true;
+}
+
+bool
+PHashTable::delTx(mtm::Txn &tx, std::string_view key)
+{
+    const uint64_t h = hashOf(key);
+    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    ChainPos pos = findTx(tx, bucket, h, key);
+    if (pos.node == nullptr)
+        return false;
+    Node *next = tx.readT<Node *>(&pos.node->next);
+    if (pos.prev) {
+        tx.writeT<Node *>(&pos.prev->next, next);
+    } else {
+        tx.writeT<Node *>(bucket, next);
+    }
+    tx.writeT<uint64_t>(&hdr_->count, tx.readT<uint64_t>(&hdr_->count) - 1);
+    rt_.stageFree(tx, pos.node);
+    return true;
+}
+
+void
+PHashTable::put(std::string_view key, std::string_view value)
+{
+    rt_.syncThreadStaging();
     rt_.atomic([&](mtm::Txn &tx) {
         rt_.resetStaging();
-        Node *node = makeNode(key, value);
-        if (instrumentedValues_) {
-            tx.write(node->kv, key.data(), key.size());
-            tx.write(node->kv + key.size(), value.data(), value.size());
-        }
-
-        // Walk the chain looking for an existing key to replace.
-        Node *prev = nullptr;
-        Node *cur = tx.readT<Node *>(bucket);
-        while (cur != nullptr) {
-            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
-            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
-            if (chash == h && cklen == key.size()) {
-                std::string k(cklen, 0);
-                tx.read(k.data(), cur->kv, cklen);
-                if (k == key)
-                    break;
-            }
-            prev = cur;
-            cur = tx.readT<Node *>(&cur->next);
-        }
-
-        if (cur != nullptr) {
-            // Replace: splice the new node in place of the old one.
-            tx.writeT<Node *>(&node->next, tx.readT<Node *>(&cur->next));
-            if (prev) {
-                tx.writeT<Node *>(&prev->next, node);
-            } else {
-                tx.writeT<Node *>(bucket, node);
-            }
-            rt_.stageFree(tx, cur);
-        } else {
-            tx.writeT<Node *>(&node->next, tx.readT<Node *>(bucket));
-            tx.writeT<Node *>(bucket, node);
-            tx.writeT<uint64_t>(&hdr_->count,
-                                tx.readT<uint64_t>(&hdr_->count) + 1);
-        }
+        putTx(tx, key, value);
         rt_.clearAllocStaging(tx);
     });
     rt_.reapStagedFree();
@@ -122,73 +196,59 @@ PHashTable::put(std::string_view key, std::string_view value)
 bool
 PHashTable::get(std::string_view key, std::string *value)
 {
-    const uint64_t h = hashOf(key);
-    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
     bool found = false;
-
-    rt_.atomic([&](mtm::Txn &tx) {
-        found = false;
-        Node *cur = tx.readT<Node *>(bucket);
-        while (cur != nullptr) {
-            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
-            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
-            if (chash == h && cklen == key.size()) {
-                std::string k(cklen, 0);
-                tx.read(k.data(), cur->kv, cklen);
-                if (k == key) {
-                    if (value) {
-                        const uint32_t vlen =
-                            tx.readT<uint32_t>(&cur->vlen);
-                        value->resize(vlen);
-                        tx.read(value->data(), cur->kv + cklen, vlen);
-                    }
-                    found = true;
-                    return;
-                }
-            }
-            cur = tx.readT<Node *>(&cur->next);
-        }
-    });
+    rt_.atomic([&](mtm::Txn &tx) { found = getTx(tx, key, value); });
     return found;
 }
 
 bool
 PHashTable::del(std::string_view key)
 {
-    const uint64_t h = hashOf(key);
-    Node **bucket = &hdr_->buckets[h % hdr_->nbuckets];
+    rt_.syncThreadStaging();
     bool removed = false;
-
-    rt_.atomic([&](mtm::Txn &tx) {
-        removed = false;
-        Node *prev = nullptr;
-        Node *cur = tx.readT<Node *>(bucket);
-        while (cur != nullptr) {
-            const uint64_t chash = tx.readT<uint64_t>(&cur->hash);
-            const uint32_t cklen = tx.readT<uint32_t>(&cur->klen);
-            if (chash == h && cklen == key.size()) {
-                std::string k(cklen, 0);
-                tx.read(k.data(), cur->kv, cklen);
-                if (k == key) {
-                    Node *next = tx.readT<Node *>(&cur->next);
-                    if (prev) {
-                        tx.writeT<Node *>(&prev->next, next);
-                    } else {
-                        tx.writeT<Node *>(bucket, next);
-                    }
-                    tx.writeT<uint64_t>(
-                        &hdr_->count, tx.readT<uint64_t>(&hdr_->count) - 1);
-                    rt_.stageFree(tx, cur);
-                    removed = true;
-                    return;
-                }
-            }
-            prev = cur;
-            cur = tx.readT<Node *>(&cur->next);
-        }
-    });
+    rt_.atomic([&](mtm::Txn &tx) { removed = delTx(tx, key); });
     rt_.reapStagedFree();
     return removed;
+}
+
+mtm::CommitTicket
+PHashTable::putAsync(std::string_view key, std::string_view value)
+{
+    // Fast path: try a pure in-place overwrite first.  It allocates and
+    // frees nothing, so it needs no staging guard — back-to-back value
+    // updates from one thread join open fence epochs without ever
+    // waiting for the previous epoch to retire.
+    bool inplace = false;
+    mtm::CommitTicket t = rt_.atomicAsync([&](mtm::Txn &tx) {
+        inplace = putInPlaceTx(tx, key, value);
+    });
+    if (inplace)
+        return t;
+
+    // Slow path (insert or resizing replace): staged allocation.  The
+    // guard waits out this thread's previous staged async commit so the
+    // raw staging-slot reads below see retired (written-back) state.
+    rt_.syncThreadStaging();
+    t = rt_.atomicAsync([&](mtm::Txn &tx) {
+        rt_.resetStaging();
+        putTx(tx, key, value);
+        rt_.clearAllocStaging(tx);
+    });
+    rt_.noteStagedAsync(t);
+    return t;
+}
+
+mtm::CommitTicket
+PHashTable::delAsync(std::string_view key, bool *removed)
+{
+    rt_.syncThreadStaging();
+    bool r = false;
+    mtm::CommitTicket t =
+        rt_.atomicAsync([&](mtm::Txn &tx) { r = delTx(tx, key); });
+    rt_.noteStagedAsync(t);
+    if (removed)
+        *removed = r;
+    return t;
 }
 
 size_t

@@ -55,7 +55,61 @@ class PHashTable
     /** Remove, durably; returns false if absent. */
     bool del(std::string_view key);
 
+    /**
+     * Relaxed-durability insert/replace: logically committed on return,
+     * durable once the returned ticket's fence epoch retires
+     * (rt.wait(ticket) / rt.sync()).  Same-length replaces overwrite the
+     * value in place with no allocation, so back-to-back updates from
+     * one thread pipeline into shared fence epochs; inserts and
+     * resizing replaces allocate, which forces a wait for the previous
+     * staged async commit (see Runtime::syncThreadStaging).
+     */
+    mtm::CommitTicket putAsync(std::string_view key, std::string_view value);
+
+    /** Relaxed-durability remove; *removed (if non-null) tells whether
+     *  the key existed. */
+    mtm::CommitTicket delAsync(std::string_view key,
+                               bool *removed = nullptr);
+
+    /**
+     * In-transaction operations, for composing several KV updates into
+     * ONE durable transaction (the server's BATCH op).  The caller owns
+     * the staging protocol: rt.syncThreadStaging() before the
+     * transaction, rt.resetStaging() at the start of each attempt,
+     * rt.clearAllocStaging(tx) at the end of the body, and
+     * reapStagedFree() / noteStagedAsync(ticket) after commit.  At most
+     * Runtime::kStageSlots allocating puts and Runtime::kGraveSlots
+     * frees (resizing replaces + deletes) fit in one transaction.
+     */
+    void putTx(mtm::Txn &tx, std::string_view key, std::string_view value);
+    bool getTx(mtm::Txn &tx, std::string_view key, std::string *value);
+    bool delTx(mtm::Txn &tx, std::string_view key);
+
     size_t size() const;
+
+    /** Visit every (key, value) pair inside one read-only transaction
+     *  (isolated from concurrent writers; order is bucket order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        rt_.atomic([&](mtm::Txn &tx) {
+            Node **buckets = tx.readT<Node **>(&hdr_->buckets);
+            const uint64_t n = tx.readT<uint64_t>(&hdr_->nbuckets);
+            std::string kv;
+            for (uint64_t b = 0; b < n; ++b) {
+                for (Node *cur = tx.readT<Node *>(&buckets[b]); cur;
+                     cur = tx.readT<Node *>(&cur->next)) {
+                    const uint32_t kl = tx.readT<uint32_t>(&cur->klen);
+                    const uint32_t vl = tx.readT<uint32_t>(&cur->vlen);
+                    kv.resize(size_t(kl) + vl);
+                    tx.read(kv.data(), cur->kv, kv.size());
+                    fn(std::string_view(kv.data(), kl),
+                       std::string_view(kv.data() + kl, vl));
+                }
+            }
+        });
+    }
 
   private:
     struct Node {
@@ -73,8 +127,18 @@ class PHashTable
         uint64_t initDone;
     };
 
+    /** Chain position of @p key: node (null if absent) + predecessor. */
+    struct ChainPos {
+        Node *node;
+        Node *prev;
+    };
+
     static uint64_t hashOf(std::string_view key);
     Node *makeNode(std::string_view key, std::string_view value);
+    ChainPos findTx(mtm::Txn &tx, Node **bucket, uint64_t h,
+                    std::string_view key);
+    bool putInPlaceTx(mtm::Txn &tx, std::string_view key,
+                      std::string_view value);
 
     Runtime &rt_;
     Header *hdr_;

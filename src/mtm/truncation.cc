@@ -136,8 +136,10 @@ TruncationThread::run()
                 // the first gated task never strands an eligible one.
                 // At stop time the gate is bypassed — the owner retires
                 // every epoch (combiner sync) before tearing us down.
-                const uint64_t retired = (combiner_ && !stop_)
-                                             ? combiner_->retiredEpoch()
+                EpochCombiner *comb =
+                    combiner_.load(std::memory_order_acquire);
+                const uint64_t retired = (comb && !stop_)
+                                             ? comb->retiredEpoch()
                                              : ~uint64_t(0);
                 while (!queue_.empty() &&
                        queue_.front().epoch <= retired) {
@@ -227,11 +229,12 @@ TruncationThread::run()
                     log->consumeTo(log::Rawl::Cursor{batch[i].consumeTo},
                                    /*do_fence=*/false);
                 }
-                if (combiner_) {
+                if (EpochCombiner *comb =
+                        combiner_.load(std::memory_order_acquire)) {
                     for (const auto &t : batch)
                         if (t.epoch != 0)
-                            combiner_->noteConsumed(t.epoch);
-                    combiner_->gcMarkers();
+                            comb->noteConsumed(t.epoch);
+                    comb->gcMarkers();
                 }
                 if (t0)
                     asyncTruncHist().record(obs::nowNs() - t0);
@@ -255,8 +258,9 @@ TruncationThread::run()
         // promptly.  Skipped while paused — crash tests need a
         // quiescent truncator to keep persistence-event sequences
         // deterministic.
-        if (combiner_ && !stopping && !paused_now)
-            combiner_->tryAdvance();
+        EpochCombiner *comb = combiner_.load(std::memory_order_acquire);
+        if (comb && !stopping && !paused_now)
+            comb->tryAdvance();
     }
 }
 

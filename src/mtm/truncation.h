@@ -11,6 +11,7 @@
 #ifndef MNEMOSYNE_MTM_TRUNCATION_H_
 #define MNEMOSYNE_MTM_TRUNCATION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -61,8 +62,14 @@ class TruncationThread
 
     /** Install the combiner the worker polls for epoch retirement
      *  (tryAdvance — the epoch-timeout path) and notifies of consumed
-     *  member tasks (marker GC).  Call before any gated enqueue. */
-    void setCombiner(EpochCombiner *c) { combiner_ = c; }
+     *  member tasks (marker GC).  Call before any gated enqueue.
+     *  Atomic: the worker thread is already polling when this runs
+     *  during TxnManager construction. */
+    void
+    setCombiner(EpochCombiner *c)
+    {
+        combiner_.store(c, std::memory_order_release);
+    }
 
     void enqueue(Task task);
 
@@ -101,7 +108,7 @@ class TruncationThread
 
     const uint64_t pollUs_;
     const bool batchDedup_;
-    EpochCombiner *combiner_ = nullptr;
+    std::atomic<EpochCombiner *> combiner_{nullptr};
 
     std::mutex mu_;
     std::condition_variable cv_;

@@ -210,4 +210,27 @@ Runtime::reapStagedFree()
     }
 }
 
+void
+Runtime::syncThreadStaging()
+{
+    StagedTicket &slot = stagedAsync_[threadOrdinal()];
+    if (slot.ticket.pending()) {
+        txns_->wait(slot.ticket);
+        slot.ticket = {};
+        reapStagedFree();
+    }
+}
+
+void
+Runtime::noteStagedAsync(mtm::CommitTicket t)
+{
+    if (t.pending()) {
+        stagedAsync_[threadOrdinal()].ticket = t;
+    } else {
+        // Combiner off (or degraded): the commit was synchronous and its
+        // write-back already ran, so the graves are current — reap now.
+        reapStagedFree();
+    }
+}
+
 } // namespace mnemosyne

@@ -21,6 +21,7 @@
 #ifndef MNEMOSYNE_RUNTIME_RUNTIME_H_
 #define MNEMOSYNE_RUNTIME_RUNTIME_H_
 
+#include <array>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -161,9 +162,31 @@ class Runtime
      *  Runtime's recovery reap it after a crash). */
     void reapStagedFree();
 
-    /** Staged allocations + graves per thread. */
+    /**
+     * Staged-allocation guard for relaxed-durability commits.  An
+     * atomicAsync() transaction's in-place write-back is deferred to
+     * epoch retirement, so after its logical commit the persistent
+     * staging and grave slots still hold their PRE-transaction values:
+     * a raw read (resetStaging, stageAlloc's free-slot scan,
+     * reapStagedFree) would free blocks the committed transaction just
+     * linked.  Any operation that touches the staging slots must
+     * therefore call this first: it blocks until this thread's most
+     * recent staged async commit has retired (write-back done, slots
+     * are the truth again) and reaps the graves it parked.  Cheap
+     * no-op when nothing is outstanding.
+     */
+    void syncThreadStaging();
+
+    /** Record @p t as this thread's outstanding staged async commit so
+     *  the next syncThreadStaging() waits on it.  Tickets that are
+     *  already durable (epoch 0) reap the graves immediately. */
+    void noteStagedAsync(mtm::CommitTicket t);
+
+    /** Staged allocations + graves per thread.  Equal budgets so a
+     *  transaction of kStageSlots independent replaces/deletes (the
+     *  server's BATCH op) can park one grave per op. */
     static constexpr size_t kStageSlots = 12;
-    static constexpr size_t kGraveSlots = 4;
+    static constexpr size_t kGraveSlots = 12;
 
     ReincarnationStats reincarnation() const { return reinc_; }
 
@@ -172,6 +195,12 @@ class Runtime
   private:
     static constexpr size_t kMaxThreads = 64;
     static constexpr size_t kSlotsPerThread = kStageSlots + kGraveSlots;
+
+    /** Per-thread outstanding staged async commit; only the owning
+     *  thread ever touches its slot (padded to avoid false sharing). */
+    struct alignas(64) StagedTicket {
+        mtm::CommitTicket ticket{};
+    };
 
     void **mySlots();   ///< kSlotsPerThread persistent pointer cells.
     size_t threadOrdinal();
@@ -185,6 +214,7 @@ class Runtime
     std::unique_ptr<heap::PHeap> heap_;
     std::unique_ptr<mtm::TxnManager> txns_;
     void **staging_ = nullptr;   ///< 2*kMaxThreads persistent slots.
+    std::array<StagedTicket, kMaxThreads> stagedAsync_{};
     ReincarnationStats reinc_;
     uint64_t statsSourceToken_ = 0;
 };

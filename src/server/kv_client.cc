@@ -1,0 +1,189 @@
+#include "server/kv_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mnemosyne::server {
+
+KvClient::~KvClient() { close(); }
+
+bool
+KvClient::connect(const std::string &host, uint16_t port)
+{
+    close();
+    fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) <
+        0) {
+        close();
+        return false;
+    }
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+void
+KvClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    sendBuf_.clear();
+    recvBuf_.clear();
+    recvOff_ = 0;
+}
+
+uint64_t
+KvClient::sendRaw(Op op, std::string_view key, std::string_view value)
+{
+    const uint64_t id = nextId_++;
+    appendRequest(sendBuf_, id, op, key, value);
+    return id;
+}
+
+bool
+KvClient::flush()
+{
+    size_t off = 0;
+    while (off < sendBuf_.size()) {
+        ssize_t n =
+            write(fd_, sendBuf_.data() + off, sendBuf_.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += size_t(n);
+    }
+    sendBuf_.clear();
+    return true;
+}
+
+bool
+KvClient::recvOne(Response *out)
+{
+    for (;;) {
+        const size_t avail = recvBuf_.size() - recvOff_;
+        if (avail >= 4) {
+            const uint32_t len = getU32(recvBuf_.data() + recvOff_);
+            if (len > kMaxFrameBytes)
+                return false;
+            if (avail >= 4 + size_t(len)) {
+                ResponseView v;
+                if (!parseResponse(recvBuf_.data() + recvOff_ + 4, len, &v))
+                    return false;
+                out->id = v.id;
+                out->status = v.status;
+                out->op = v.op;
+                out->value.assign(v.value);
+                recvOff_ += 4 + size_t(len);
+                if (recvOff_ == recvBuf_.size()) {
+                    recvBuf_.clear();
+                    recvOff_ = 0;
+                }
+                return true;
+            }
+        }
+        uint8_t chunk[64 * 1024];
+        ssize_t n = read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            recvBuf_.insert(recvBuf_.end(), chunk, chunk + n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+KvClient::roundTrip(Op op, std::string_view key, std::string_view value,
+                    Response *out)
+{
+    const uint64_t id = sendRaw(op, key, value);
+    if (!flush())
+        return false;
+    // Responses come back in order; skip any stale pipelined ones.
+    while (recvOne(out)) {
+        if (out->id == id)
+            return true;
+    }
+    return false;
+}
+
+Status
+KvClient::put(std::string_view key, std::string_view value)
+{
+    Response r;
+    return roundTrip(Op::kPut, key, value, &r) ? r.status : Status::kError;
+}
+
+Status
+KvClient::get(std::string_view key, std::string *value)
+{
+    Response r;
+    if (!roundTrip(Op::kGet, key, "", &r))
+        return Status::kError;
+    if (r.status == Status::kOk && value)
+        *value = std::move(r.value);
+    return r.status;
+}
+
+Status
+KvClient::del(std::string_view key)
+{
+    Response r;
+    return roundTrip(Op::kDel, key, "", &r) ? r.status : Status::kError;
+}
+
+Status
+KvClient::batch(const std::vector<BatchOp> &ops, std::string *statuses)
+{
+    const std::vector<uint8_t> body = encodeBatch(ops);
+    Response r;
+    if (!roundTrip(Op::kBatch, "",
+                   std::string_view(
+                       reinterpret_cast<const char *>(body.data()),
+                       body.size()),
+                   &r))
+        return Status::kError;
+    if (statuses)
+        *statuses = std::move(r.value);
+    return r.status;
+}
+
+bool
+KvClient::stat(std::string *json)
+{
+    Response r;
+    if (!roundTrip(Op::kStat, "", "", &r) || r.status != Status::kOk)
+        return false;
+    if (json)
+        *json = std::move(r.value);
+    return true;
+}
+
+bool
+KvClient::ping()
+{
+    Response r;
+    return roundTrip(Op::kPing, "", "", &r) && r.status == Status::kOk;
+}
+
+} // namespace mnemosyne::server

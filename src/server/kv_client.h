@@ -1,0 +1,78 @@
+/**
+ * @file
+ * KvClient: a small blocking client for the KV service protocol.
+ *
+ * One TCP connection, synchronous request/response helpers plus a raw
+ * pipelined interface (sendRaw/flush/recvOne) for callers that keep
+ * many requests in flight.  The load generator (tools/kv_perf) manages
+ * its own non-blocking sockets for scale; this class is for tests, the
+ * recovery verifier, and simple tooling.
+ */
+
+#ifndef MNEMOSYNE_SERVER_KV_CLIENT_H_
+#define MNEMOSYNE_SERVER_KV_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/kv_protocol.h"
+
+namespace mnemosyne::server {
+
+class KvClient
+{
+  public:
+    KvClient() = default;
+    ~KvClient();
+
+    KvClient(const KvClient &) = delete;
+    KvClient &operator=(const KvClient &) = delete;
+
+    bool connect(const std::string &host, uint16_t port);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    // -- synchronous helpers (one round trip each) -------------------------
+
+    Status put(std::string_view key, std::string_view value);
+    Status get(std::string_view key, std::string *value);
+    Status del(std::string_view key);
+    /** One durable transaction over several write ops; @p statuses (if
+     *  non-null) receives one Status byte per op. */
+    Status batch(const std::vector<BatchOp> &ops, std::string *statuses);
+    /** Live StatsRegistry JSON snapshot from the server. */
+    bool stat(std::string *json);
+    bool ping();
+
+    // -- pipelined interface ----------------------------------------------
+
+    /** Buffer a request; returns its request id.  Call flush() to send. */
+    uint64_t sendRaw(Op op, std::string_view key, std::string_view value);
+    bool flush();
+
+    struct Response {
+        uint64_t id;
+        Status status;
+        Op op;
+        std::string value;
+    };
+    /** Block until one full response arrives; false on EOF/error. */
+    bool recvOne(Response *out);
+
+  private:
+    bool roundTrip(Op op, std::string_view key, std::string_view value,
+                   Response *out);
+
+    int fd_ = -1;
+    uint64_t nextId_ = 1;
+    std::vector<uint8_t> sendBuf_;
+    std::vector<uint8_t> recvBuf_;
+    size_t recvOff_ = 0;
+};
+
+} // namespace mnemosyne::server
+
+#endif // MNEMOSYNE_SERVER_KV_CLIENT_H_

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Wire protocol for the networked durable KV service (DESIGN.md §10).
+ *
+ * Length-prefixed binary frames over TCP, little-endian integers:
+ *
+ *   frame    := u32 payload_len | payload           (len excludes itself)
+ *   request  := u64 req_id | u8 op | u8 pad[3] | u32 klen | u32 vlen
+ *               | klen key bytes | vlen value bytes
+ *   response := u64 req_id | u8 status | u8 op | u8 pad[2] | u32 vlen
+ *               | vlen value bytes
+ *
+ * Request ids are client-chosen and echoed back verbatim; responses to
+ * one connection come back in request order (per-connection FIFO), so a
+ * client may pipeline arbitrarily many requests per connection — that
+ * pipelining is what feeds the server's cross-connection group commit.
+ *
+ * kBatch packs several write ops into ONE durable transaction.  Its
+ * value bytes hold: u32 count | count × (u8 op | u8 pad[3] | u32 klen
+ * | u32 vlen | key | value), ops limited to kPut/kDel, count limited by
+ * kMaxBatchOps (the runtime's staged-allocation budget).  The response
+ * value holds `count` status bytes, one per op in order.
+ *
+ * kStat returns a live StatsRegistry JSON snapshot as the value —
+ * exact emulator counters (scm.fences, mtm.commits) over the wire is
+ * what lets kv_perf compute fences/txn without scraping the server.
+ */
+
+#ifndef MNEMOSYNE_SERVER_KV_PROTOCOL_H_
+#define MNEMOSYNE_SERVER_KV_PROTOCOL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnemosyne::server {
+
+enum class Op : uint8_t {
+    kGet = 1,
+    kPut = 2,
+    kDel = 3,
+    kBatch = 4,
+    kStat = 5,
+    kPing = 6,
+};
+
+enum class Status : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kBadRequest = 2,
+    kTooLarge = 3,
+    kError = 4,
+};
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+inline constexpr uint32_t kMaxKeyBytes = 1u << 12;
+/** Batch write cap: every op may stage one alloc (insert/resize) but at
+ *  most kGraveSlots of them may free (resize/delete); the server
+ *  rejects oversized batches up front with kTooLarge. */
+inline constexpr uint32_t kMaxBatchOps = 12;
+
+inline constexpr size_t kRequestHeaderBytes = 8 + 4 + 4 + 4;
+inline constexpr size_t kResponseHeaderBytes = 8 + 4 + 4;
+
+inline void
+putU32(std::vector<uint8_t> &buf, uint32_t v)
+{
+    uint8_t b[4];
+    std::memcpy(b, &v, 4);
+    buf.insert(buf.end(), b, b + 4);
+}
+
+inline void
+putU64(std::vector<uint8_t> &buf, uint64_t v)
+{
+    uint8_t b[8];
+    std::memcpy(b, &v, 8);
+    buf.insert(buf.end(), b, b + 8);
+}
+
+inline uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+inline uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+/** A parsed request pointing into the receive buffer (zero-copy). */
+struct RequestView {
+    uint64_t id = 0;
+    Op op = Op::kPing;
+    std::string_view key;
+    std::string_view value;
+};
+
+/** Parse one request payload (frame length already stripped). */
+inline bool
+parseRequest(const uint8_t *p, size_t n, RequestView *out)
+{
+    if (n < kRequestHeaderBytes)
+        return false;
+    out->id = getU64(p);
+    out->op = Op(p[8]);
+    const uint32_t klen = getU32(p + 12);
+    const uint32_t vlen = getU32(p + 16);
+    if (uint64_t(klen) + vlen + kRequestHeaderBytes != n)
+        return false;
+    const char *body = reinterpret_cast<const char *>(p + kRequestHeaderBytes);
+    out->key = std::string_view(body, klen);
+    out->value = std::string_view(body + klen, vlen);
+    return true;
+}
+
+/** Append one framed request to @p buf. */
+inline void
+appendRequest(std::vector<uint8_t> &buf, uint64_t id, Op op,
+              std::string_view key, std::string_view value)
+{
+    putU32(buf, uint32_t(kRequestHeaderBytes + key.size() + value.size()));
+    putU64(buf, id);
+    buf.push_back(uint8_t(op));
+    buf.push_back(0);
+    buf.push_back(0);
+    buf.push_back(0);
+    putU32(buf, uint32_t(key.size()));
+    putU32(buf, uint32_t(value.size()));
+    buf.insert(buf.end(), key.begin(), key.end());
+    buf.insert(buf.end(), value.begin(), value.end());
+}
+
+/** Append one framed response to @p buf. */
+inline void
+appendResponse(std::vector<uint8_t> &buf, uint64_t id, Status st, Op op,
+               std::string_view value)
+{
+    putU32(buf, uint32_t(kResponseHeaderBytes + value.size()));
+    putU64(buf, id);
+    buf.push_back(uint8_t(st));
+    buf.push_back(uint8_t(op));
+    buf.push_back(0);
+    buf.push_back(0);
+    putU32(buf, uint32_t(value.size()));
+    buf.insert(buf.end(), value.begin(), value.end());
+}
+
+struct ResponseView {
+    uint64_t id = 0;
+    Status status = Status::kError;
+    Op op = Op::kPing;
+    std::string_view value;
+};
+
+/** Parse one response payload (frame length already stripped). */
+inline bool
+parseResponse(const uint8_t *p, size_t n, ResponseView *out)
+{
+    if (n < kResponseHeaderBytes)
+        return false;
+    out->id = getU64(p);
+    out->status = Status(p[8]);
+    out->op = Op(p[9]);
+    const uint32_t vlen = getU32(p + 12);
+    if (uint64_t(vlen) + kResponseHeaderBytes != n)
+        return false;
+    out->value = std::string_view(
+        reinterpret_cast<const char *>(p + kResponseHeaderBytes), vlen);
+    return true;
+}
+
+/** One op inside a kBatch payload. */
+struct BatchOp {
+    Op op;
+    std::string_view key;
+    std::string_view value;
+};
+
+/** Encode a batch body (goes into appendRequest's value). */
+inline std::vector<uint8_t>
+encodeBatch(const std::vector<BatchOp> &ops)
+{
+    std::vector<uint8_t> body;
+    putU32(body, uint32_t(ops.size()));
+    for (const BatchOp &o : ops) {
+        body.push_back(uint8_t(o.op));
+        body.push_back(0);
+        body.push_back(0);
+        body.push_back(0);
+        putU32(body, uint32_t(o.key.size()));
+        putU32(body, uint32_t(o.value.size()));
+        body.insert(body.end(), o.key.begin(), o.key.end());
+        body.insert(body.end(), o.value.begin(), o.value.end());
+    }
+    return body;
+}
+
+/** Decode a batch body; false on malformed input. */
+inline bool
+decodeBatch(std::string_view body, std::vector<BatchOp> *out)
+{
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(body.data());
+    size_t n = body.size();
+    if (n < 4)
+        return false;
+    const uint32_t count = getU32(p);
+    p += 4;
+    n -= 4;
+    out->clear();
+    for (uint32_t i = 0; i < count; ++i) {
+        if (n < 12)
+            return false;
+        BatchOp o;
+        o.op = Op(p[0]);
+        const uint32_t klen = getU32(p + 4);
+        const uint32_t vlen = getU32(p + 8);
+        p += 12;
+        n -= 12;
+        if (n < uint64_t(klen) + vlen)
+            return false;
+        o.key = std::string_view(reinterpret_cast<const char *>(p), klen);
+        o.value =
+            std::string_view(reinterpret_cast<const char *>(p + klen), vlen);
+        p += klen + vlen;
+        n -= klen + size_t(vlen);
+        out->push_back(o);
+    }
+    return n == 0;
+}
+
+} // namespace mnemosyne::server
+
+#endif // MNEMOSYNE_SERVER_KV_PROTOCOL_H_

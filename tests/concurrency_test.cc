@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "ds/phash_table.h"
 #include "heap/superblock_heap.h"
 #include "log/log_manager.h"
 #include "runtime/runtime.h"
@@ -329,4 +330,103 @@ TEST(Concurrency, TxnThroughputUnderThreadChurn)
     // 16 distinct threads transacted against 8 log slots: only lease
     // recycling makes that possible.
     EXPECT_GT(rt.txns().recycledLogCount(), 0u);
+}
+
+TEST(Concurrency, PHashTableReaderWriterStress)
+{
+    // The KV server's worker pool is the first real multi-threaded
+    // client of PHashTable: concurrent writers (sync + async commits,
+    // in-place overwrites, inserts, deletes) against concurrent readers
+    // on overlapping keys.  Writers own disjoint key slices, so the
+    // final table contents are exactly each slice's last write — any
+    // lost update, torn value, or broken chain shows up in the sweep.
+    TempDir dir;
+    scm::ScmConfig sc = scmCfg();
+    sc.failure_tracking = false;
+    scm::ScmContext c(sc);
+    scm::ScopedCtx guard(c);
+    RuntimeConfig rc = rtCfg(dir.path());
+    rc.txn.group_commit = true;
+    rc.txn.truncation = mtm::Truncation::kAsync;
+    Runtime rt(rc);
+    mnemosyne::ds::PHashTable table(rt, "stress_table", 256);
+
+    constexpr int kWriters = 3;
+    constexpr int kReaders = 2;
+    constexpr int kKeysPerWriter = 40;
+    constexpr int kOpsPerWriter = 600;
+    std::atomic<bool> stopReaders{false};
+    SpinBarrier start(kWriters + kReaders);
+
+    auto keyOf = [](int w, int k) {
+        return "w" + std::to_string(w) + "_k" + std::to_string(k);
+    };
+
+    std::vector<std::vector<std::string>> last(
+        kWriters, std::vector<std::string>(kKeysPerWriter));
+    std::vector<std::thread> ts;
+    for (int w = 0; w < kWriters; ++w) {
+        ts.emplace_back([&, w] {
+            std::mt19937 rng(uint32_t(1234 + w));
+            start.arrive_and_wait();
+            for (int i = 0; i < kOpsPerWriter; ++i) {
+                const int k = int(rng() % kKeysPerWriter);
+                const std::string key = keyOf(w, k);
+                const int kind = int(rng() % 4);
+                if (kind == 0) {
+                    table.del(key);
+                    last[w][size_t(k)].clear();
+                } else {
+                    // Same-length values exercise the in-place path;
+                    // varying lengths force node splices.
+                    std::string v = "v" + std::to_string(i) + "_" +
+                                    std::string(size_t(rng() % 24), 'x');
+                    if (kind == 1)
+                        table.put(key, v);
+                    else
+                        table.putAsync(key, v);
+                    last[w][size_t(k)] = v;
+                }
+            }
+            // Retire this thread's trailing async commit while the
+            // thread is still alive (per-thread staging slots).
+            rt.syncThreadStaging();
+        });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+        ts.emplace_back([&, r] {
+            std::mt19937 rng(uint32_t(99 + r));
+            start.arrive_and_wait();
+            std::string v;
+            while (!stopReaders.load(std::memory_order_acquire)) {
+                const int w = int(rng() % kWriters);
+                const int k = int(rng() % kKeysPerWriter);
+                // Isolation only: any committed value (or absence) is
+                // fine, but the read must never tear or crash.
+                table.get(keyOf(w, k), &v);
+            }
+        });
+    }
+    for (int w = 0; w < kWriters; ++w)
+        ts[size_t(w)].join();
+    stopReaders.store(true, std::memory_order_release);
+    for (size_t i = kWriters; i < ts.size(); ++i)
+        ts[i].join();
+
+    rt.sync();
+    size_t expectCount = 0;
+    for (int w = 0; w < kWriters; ++w) {
+        for (int k = 0; k < kKeysPerWriter; ++k) {
+            std::string v;
+            const bool found = table.get(keyOf(w, k), &v);
+            if (last[w][size_t(k)].empty()) {
+                EXPECT_FALSE(found) << keyOf(w, k);
+            } else {
+                ASSERT_TRUE(found) << keyOf(w, k);
+                EXPECT_EQ(v, last[w][size_t(k)]) << keyOf(w, k);
+                expectCount++;
+            }
+        }
+    }
+    EXPECT_EQ(table.size(), expectCount);
 }
